@@ -1,0 +1,256 @@
+// Benchmarks: one testing.B per reconstructed table/figure (DESIGN.md's
+// experiment index). Each benchmark executes its experiment end to end per
+// iteration at a reduced scale and reports the experiment's headline number
+// as a custom metric, so `go test -bench=.` both times the harness and
+// regenerates the result shapes. The full-scale tables behind EXPERIMENTS.md
+// come from cmd/portbench.
+package portsim_test
+
+import (
+	"testing"
+
+	"portsim"
+	"portsim/internal/experiments"
+)
+
+// benchSpec keeps benchmark iterations affordable while still running every
+// stage of each experiment.
+func benchSpec() experiments.Spec {
+	return experiments.Spec{
+		Workloads: []string{"compress", "eqntott", "database"},
+		Insts:     30_000,
+		Seed:      42,
+	}
+}
+
+func BenchmarkT1BaselineConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if T1 := experiments.T1Baseline(); T1.String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkT2WorkloadCharacterisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.T2Characterisation(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].BaselineIPC, "compress-IPC")
+	}
+}
+
+func BenchmarkF1PortCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.F1PortCount(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].IPC[1]/rows[0].IPC[2], "single/dual")
+	}
+}
+
+func BenchmarkF2BufferDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.F2BufferDepth(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].IPC[32]/rows[0].IPC[1], "deep/shallow")
+	}
+}
+
+func BenchmarkF3PortWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.F3PortWidth(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].IPC[32]/rows[0].IPC[8], "wide/narrow")
+	}
+}
+
+func BenchmarkF4LineBuffers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.F4LineBuffers(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].HitRate[4], "lb-hit-rate")
+	}
+}
+
+func BenchmarkF5StoreCombining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.F5StoreCombining(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].StoresPerDrain[16], "stores-per-drain")
+	}
+}
+
+func BenchmarkF6HeadlineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.F6Headline(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, row := range rows {
+			sum += row.BestOfDual
+		}
+		b.ReportMetric(sum/float64(len(rows)), "best/dual")
+	}
+}
+
+func BenchmarkT3PortUtilisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.T3PortUtilisation(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].PortUtilisation, "port-util")
+	}
+}
+
+func BenchmarkF7KernelIntensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.F7KernelIntensity(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].KernelFrac, "kernel-frac-high")
+	}
+}
+
+func BenchmarkA1Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A1Ablation(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-2].OfDual, "all-techniques/dual")
+	}
+}
+
+func BenchmarkA2Banking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A2Banking(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[3].OfDual, "8-banks/dual")
+	}
+}
+
+func BenchmarkA3Prefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A3Prefetch(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Accuracy, "pf-accuracy")
+	}
+}
+
+func BenchmarkA4MemSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A4MemSpeculation(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Speculative/rows[0].Conservative, "spec-speedup")
+	}
+}
+
+func BenchmarkA5WritePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A5WritePolicy(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].WTPlain/rows[0].WBPlain, "wt/wb")
+	}
+}
+
+func BenchmarkA6Multiprogramming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A6Multiprogramming(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].L1DMiss, "miss-at-8-procs")
+	}
+}
+
+func BenchmarkA7ArbitrationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A7ArbitrationPolicy(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].StoresFirst/rows[0].LoadsFirst, "sf/lf")
+	}
+}
+
+func BenchmarkT4GrantDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.T4GrantDistribution(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Frac[1], "busy-frac")
+	}
+}
+
+func BenchmarkA8WrongPathFetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchSpec())
+		rows, _, err := experiments.A8WrongPathFetch(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].PollutedIPC/rows[0].IdealIPC, "polluted/ideal")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed in simulated
+// instructions per wall-clock second — the number that bounds how large the
+// full-scale experiment runs can be.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const insts = 100_000
+	b.SetBytes(0)
+	for i := 0; i < b.N; i++ {
+		sim, err := portsim.New(portsim.BaselineConfig(), "compress", 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Instructions != insts {
+			b.Fatalf("committed %d", res.Instructions)
+		}
+	}
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
+}

@@ -1,0 +1,111 @@
+// Command portbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index) and prints them as plain-
+// text tables. EXPERIMENTS.md is produced from this command's output.
+//
+// Usage:
+//
+//	portbench [-quick] [-insts n] [-seed n] [-only T1,F6,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"portsim/internal/experiments"
+	"portsim/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "portbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the experiment suite; split from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("portbench", flag.ContinueOnError)
+	var (
+		quick = fs.Bool("quick", false, "reduced workload set and instruction budget")
+		insts = fs.Uint64("insts", 0, "override the committed-instruction budget per run")
+		seed  = fs.Int64("seed", 42, "workload generator seed")
+		only  = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+		csv   = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec := experiments.DefaultSpec()
+	if *quick {
+		spec = experiments.QuickSpec()
+	}
+	if *insts > 0 {
+		spec.Insts = *insts
+	}
+	spec.Seed = *seed
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	fmt.Fprintf(out, "portbench: %d workloads x %d instructions, seed %d\n\n",
+		len(spec.Workloads), spec.Insts, spec.Seed)
+	runner := experiments.NewRunner(spec)
+	start := time.Now()
+
+	type experiment struct {
+		id  string
+		run func() (*stats.Table, error)
+	}
+	suite := []experiment{
+		{"T1", func() (*stats.Table, error) { return experiments.T1Baseline(), nil }},
+		{"T2", func() (*stats.Table, error) { _, t, err := experiments.T2Characterisation(runner); return t, err }},
+		{"F1", func() (*stats.Table, error) { _, t, err := experiments.F1PortCount(runner); return t, err }},
+		{"F2", func() (*stats.Table, error) { _, t, err := experiments.F2BufferDepth(runner); return t, err }},
+		{"F3", func() (*stats.Table, error) { _, t, err := experiments.F3PortWidth(runner); return t, err }},
+		{"F4", func() (*stats.Table, error) { _, t, err := experiments.F4LineBuffers(runner); return t, err }},
+		{"F5", func() (*stats.Table, error) { _, t, err := experiments.F5StoreCombining(runner); return t, err }},
+		{"F6", func() (*stats.Table, error) { _, t, err := experiments.F6Headline(runner); return t, err }},
+		{"T3", func() (*stats.Table, error) { _, t, err := experiments.T3PortUtilisation(runner); return t, err }},
+		{"T4", func() (*stats.Table, error) { _, t, err := experiments.T4GrantDistribution(runner); return t, err }},
+		{"F7", func() (*stats.Table, error) { _, t, err := experiments.F7KernelIntensity(runner); return t, err }},
+		{"A1", func() (*stats.Table, error) { _, t, err := experiments.A1Ablation(runner); return t, err }},
+		{"A2", func() (*stats.Table, error) { _, t, err := experiments.A2Banking(runner); return t, err }},
+		{"A3", func() (*stats.Table, error) { _, t, err := experiments.A3Prefetch(runner); return t, err }},
+		{"A4", func() (*stats.Table, error) { _, t, err := experiments.A4MemSpeculation(runner); return t, err }},
+		{"A5", func() (*stats.Table, error) { _, t, err := experiments.A5WritePolicy(runner); return t, err }},
+		{"A6", func() (*stats.Table, error) { _, t, err := experiments.A6Multiprogramming(runner); return t, err }},
+		{"A7", func() (*stats.Table, error) { _, t, err := experiments.A7ArbitrationPolicy(runner); return t, err }},
+		{"A8", func() (*stats.Table, error) { _, t, err := experiments.A8WrongPathFetch(runner); return t, err }},
+	}
+	ran := 0
+	for _, e := range suite {
+		if !want(e.id) {
+			continue
+		}
+		table, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if *csv {
+			fmt.Fprintln(out, table.CSV())
+		} else {
+			fmt.Fprintln(out, table.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches -only=%q", *only)
+	}
+	fmt.Fprintf(out, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

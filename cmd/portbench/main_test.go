@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runPB(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestOnlySelectsExperiments(t *testing.T) {
+	out, err := runPB(t, "-quick", "-insts", "5000", "-only", "T1,F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "T1: baseline machine parameters") {
+		t.Error("T1 table missing")
+	}
+	if !strings.Contains(out, "F1: IPC vs number of cache ports") {
+		t.Error("F1 table missing")
+	}
+	if strings.Contains(out, "F6:") {
+		t.Error("unselected experiment ran")
+	}
+	if !strings.Contains(out, "total wall time") {
+		t.Error("footer missing")
+	}
+}
+
+func TestOnlyIsCaseInsensitive(t *testing.T) {
+	out, err := runPB(t, "-quick", "-insts", "5000", "-only", "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "T1:") {
+		t.Error("lower-case id not matched")
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if _, err := runPB(t, "-quick", "-only", "Z9"); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestHeaderReportsSpec(t *testing.T) {
+	out, err := runPB(t, "-quick", "-insts", "4000", "-seed", "9", "-only", "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 workloads x 4000 instructions, seed 9") {
+		t.Errorf("header wrong:\n%s", strings.SplitN(out, "\n", 2)[0])
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out, err := runPB(t, "-quick", "-insts", "4000", "-only", "T1", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# T1: baseline machine parameters") {
+		t.Error("CSV title comment missing")
+	}
+	if !strings.Contains(out, "parameter,value") {
+		t.Error("CSV header missing")
+	}
+	if strings.Contains(out, "---") {
+		t.Error("aligned-table separator leaked into CSV mode")
+	}
+}

@@ -1,0 +1,158 @@
+// Command portsim runs one workload on one machine configuration and prints
+// IPC plus the detailed statistics.
+//
+// Usage:
+//
+//	portsim [flags]
+//
+//	-config name    machine preset: baseline, dual-port, quad-port, best-single
+//	-config-json f  load the machine from a JSON file instead of a preset
+//	-dump-config    print the selected machine as JSON and exit
+//	-workload name  workload: compress, eqntott, mp3d, raytrace, verilog, database, pmake
+//	-insts n        committed-instruction budget
+//	-seed n         workload generator seed
+//	-ports n        override the port count
+//	-width n        override the port width in bytes
+//	-sb n           override the store-buffer depth
+//	-combining      enable store combining
+//	-linebufs n     override the load-all line-buffer count
+//	-stats          print every counter, not just the summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"portsim"
+	"portsim/internal/config"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "portsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments, writing output to out.
+// Split from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("portsim", flag.ContinueOnError)
+	var (
+		preset     = fs.String("config", "baseline", "machine preset: "+strings.Join(portsim.ConfigNames(), ", "))
+		configJSON = fs.String("config-json", "", "load machine configuration from a JSON file")
+		dumpConfig = fs.Bool("dump-config", false, "print the selected machine as JSON and exit")
+		workload   = fs.String("workload", "compress", "workload: "+strings.Join(portsim.Workloads(), ", "))
+		insts      = fs.Uint64("insts", 300_000, "committed-instruction budget")
+		seed       = fs.Int64("seed", 42, "workload generator seed")
+		ports      = fs.Int("ports", 0, "override port count (0: keep preset)")
+		width      = fs.Int("width", 0, "override port width in bytes (0: keep preset)")
+		sbDepth    = fs.Int("sb", 0, "override store-buffer depth (0: keep preset)")
+		combining  = fs.Bool("combining", false, "enable store combining")
+		lineBufs   = fs.Int("linebufs", -1, "override line-buffer count (-1: keep preset)")
+		allStats   = fs.Bool("stats", false, "print every counter")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := loadConfig(*preset, *configJSON)
+	if err != nil {
+		return err
+	}
+	if *ports > 0 {
+		cfg.Ports.Count = *ports
+	}
+	if *width > 0 {
+		cfg.Ports.WidthBytes = *width
+	}
+	if *sbDepth > 0 {
+		cfg.Ports.StoreBufferEntries = *sbDepth
+	}
+	if *combining {
+		cfg.Ports.StoreCombining = true
+	}
+	if *lineBufs >= 0 {
+		cfg.Ports.LineBuffers = *lineBufs
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if *dumpConfig {
+		data, err := cfg.ToJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+
+	sim, err := portsim.New(cfg, *workload, *seed)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(*insts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "machine   %s (%d port(s) x %dB, sb=%d, combining=%v, line buffers=%d)\n",
+		cfg.Name, cfg.Ports.Count, cfg.Ports.WidthBytes, cfg.Ports.StoreBufferEntries,
+		cfg.Ports.StoreCombining, cfg.Ports.LineBuffers)
+	fmt.Fprintf(out, "workload  %s, %d instructions (%.1f%% kernel), seed %d\n",
+		*workload, res.Instructions, 100*float64(res.KernelInsts)/float64(res.Instructions), *seed)
+	fmt.Fprintf(out, "cycles    %d\n", res.Cycles)
+	fmt.Fprintf(out, "IPC       %.3f\n", res.IPC)
+	fmt.Fprintf(out, "loads     %d (%.1f%% of insts), stores %d (%.1f%%)\n",
+		res.Loads, 100*float64(res.Loads)/float64(res.Instructions),
+		res.Stores, 100*float64(res.Stores)/float64(res.Instructions))
+	fmt.Fprintf(out, "branches  %d, mispredicted %.2f%%\n",
+		res.Branches, 100*float64(res.Mispredicts)/float64(res.Branches))
+	s := res.Counters
+	fmt.Fprintf(out, "L1D       %.2f%% miss rate; port busy %.1f%% (refills %.1f%% of grants)\n",
+		100*float64(s.Get("l1d.misses"))/float64(s.Get("l1d.misses")+s.Get("l1d.hits")),
+		100*float64(s.Get("port.grants"))/float64(s.Get("port.cycles")),
+		100*float64(s.Get("port.refill_cycles"))/max1(float64(s.Get("port.grants"))))
+	fmt.Fprintf(out, "loads by source: cache %d, line buffer %d, store buffer %d (LSQ forwards %d)\n",
+		s.Get("port.loads_from_cache"), s.Get("port.loads_from_line_buffer"),
+		s.Get("port.loads_from_store_buffer"), s.Get("lsq.forwards"))
+	if drains := s.Get("port.sb_drains"); drains > 0 {
+		fmt.Fprintf(out, "store buffer: %.2f stores retired per port write\n",
+			float64(s.Get("port.sb_inserts"))/float64(drains))
+	}
+	if *allStats {
+		fmt.Fprintln(out, "\ncounters:")
+		names := s.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(out, "  %-32s %d\n", n, s.Get(n))
+		}
+	}
+	return nil
+}
+
+func loadConfig(preset, jsonPath string) (portsim.Config, error) {
+	if jsonPath != "" {
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			return portsim.Config{}, err
+		}
+		return config.FromJSON(data)
+	}
+	cfg, ok := portsim.ConfigByName(preset)
+	if !ok {
+		return portsim.Config{}, fmt.Errorf("unknown preset %q (have %s)", preset, strings.Join(portsim.ConfigNames(), ", "))
+	}
+	return cfg, nil
+}
+
+func max1(f float64) float64 {
+	if f < 1 {
+		return 1
+	}
+	return f
+}

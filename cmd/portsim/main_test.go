@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestRunDefaultsProduceSummary(t *testing.T) {
+	out, err := runCLI(t, "-insts", "20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"machine", "IPC", "loads", "branches", "L1D", "loads by source"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "counters:") {
+		t.Error("detailed counters printed without -stats")
+	}
+}
+
+func TestRunStatsFlag(t *testing.T) {
+	out, err := runCLI(t, "-insts", "5000", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"counters:", "port.grants", "l1d.misses", "cycles"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("-stats output missing %q", frag)
+		}
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	out, err := runCLI(t, "-insts", "5000", "-ports", "2", "-sb", "4", "-width", "16", "-combining", "-linebufs", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 port(s) x 16B, sb=4, combining=true, line buffers=2") {
+		t.Errorf("overrides not applied:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-config", "nonexistent"},
+		{"-workload", "doom", "-insts", "100"},
+		{"-width", "7", "-insts", "100"},
+		{"-config-json", "/nonexistent/path.json"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestDumpConfigRoundTrip(t *testing.T) {
+	out, err := runCLI(t, "-config", "best-single", "-dump-config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "\"store_combining\": true") {
+		t.Fatalf("dump missing combining flag:\n%s", out)
+	}
+	// The dumped JSON must load back through -config-json.
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := runCLI(t, "-config-json", path, "-insts", "5000")
+	if err != nil {
+		t.Fatalf("config-json round trip failed: %v", err)
+	}
+	if !strings.Contains(out2, "best-single") {
+		t.Errorf("loaded config lost its name:\n%s", out2)
+	}
+}
+
+func TestBankedPresetRuns(t *testing.T) {
+	out, err := runCLI(t, "-config", "banked-4", "-insts", "5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "banked-4") {
+		t.Errorf("banked preset not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,69 @@
+// Oswork studies the paper's central methodological point: operating-system
+// activity changes the memory behaviour the cache port sees. It takes the
+// OLTP workload, sweeps the kernel-entry cadence through a customised
+// profile, and reports how OS intensity affects IPC, the L1D miss rate, and
+// how much of the single-port gap the paper's techniques recover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"portsim"
+)
+
+func main() {
+	base, ok := portsim.WorkloadByName("database")
+	if !ok {
+		log.Fatal("database workload missing")
+	}
+	const insts = 150_000
+
+	fmt.Println("OS intensity study on the OLTP workload")
+	fmt.Printf("%-10s %8s %8s %8s %8s %10s\n",
+		"intensity", "kernel%", "single", "best", "dual", "recovered")
+	for _, pt := range []struct {
+		label string
+		every int // mean user instructions between kernel entries; 0 = none
+	}{
+		{"none", 0},
+		{"low", 16000},
+		{"medium", 4000},
+		{"high", 1200},
+	} {
+		prof := base
+		prof.Name = "database-" + pt.label
+		if pt.every == 0 {
+			prof.Kernel.EveryMean = 0
+		} else {
+			prof.Kernel.EveryMean = pt.every
+		}
+
+		single := run(portsim.BaselineConfig(), prof)
+		best := run(portsim.BestSingleConfig(), prof)
+		dual := run(portsim.DualPortConfig(), prof)
+
+		kernelFrac := float64(single.KernelInsts) / float64(single.Instructions)
+		gap := dual.IPC - single.IPC
+		recovered := 0.0
+		if gap > 0 {
+			recovered = (best.IPC - single.IPC) / gap
+		}
+		fmt.Printf("%-10s %7.1f%% %8.3f %8.3f %8.3f %9.0f%%\n",
+			pt.label, 100*kernelFrac, single.IPC, best.IPC, dual.IPC, 100*recovered)
+	}
+	fmt.Println("\n'recovered' is the fraction of the single-to-dual IPC gap that the")
+	fmt.Println("paper's techniques (wide port + load-all + combining buffer) win back.")
+}
+
+func run(cfg portsim.Config, prof portsim.Profile) *portsim.Result {
+	sim, err := portsim.NewFromProfile(cfg, prof, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run(150_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

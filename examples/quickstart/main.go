@@ -1,0 +1,34 @@
+// Quickstart: run one workload on the paper's baseline and proposed
+// machines and print the IPC of each — the smallest useful portsim program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"portsim"
+)
+
+func main() {
+	const (
+		workload = "compress"
+		insts    = 200_000
+		seed     = 42
+	)
+	for _, preset := range []string{"baseline", "best-single", "dual-port"} {
+		cfg, ok := portsim.ConfigByName(preset)
+		if !ok {
+			log.Fatalf("unknown preset %q", preset)
+		}
+		sim, err := portsim.New(cfg, workload, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(insts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s IPC %.3f  (%d cycles for %d instructions)\n",
+			preset, res.IPC, res.Cycles, res.Instructions)
+	}
+}

@@ -1,0 +1,3 @@
+module portsim
+
+go 1.22

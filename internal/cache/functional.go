@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"fmt"
+
+	"portsim/internal/config"
+)
+
+// Store is the backing memory interface of a Functional cache: a byte-
+// addressable store that reads and writes arbitrary spans. internal/mem's
+// FlatMem is the usual implementation.
+type Store interface {
+	// ReadAt copies len(p) bytes starting at addr into p.
+	ReadAt(addr uint64, p []byte)
+	// WriteAt copies p into the store starting at addr.
+	WriteAt(addr uint64, p []byte)
+}
+
+// Functional is a data-carrying write-back write-allocate cache over a
+// backing Store. It reuses Level for tags, state and replacement, and adds
+// per-way data arrays. Its purpose is correctness testing: any sequence of
+// Read/Write calls must be indistinguishable from the same calls applied to
+// the Store directly (after a final Flush).
+type Functional struct {
+	level   *Level
+	data    [][]byte // indexed [set*assoc+way][LineBytes]
+	backing Store
+}
+
+// NewFunctional builds a functional cache with the given geometry over the
+// backing store.
+func NewFunctional(geom config.CacheGeom, backing Store) (*Functional, error) {
+	if backing == nil {
+		return nil, fmt.Errorf("cache: functional cache requires a backing store")
+	}
+	level, err := NewLevel(geom)
+	if err != nil {
+		return nil, err
+	}
+	n := geom.Sets() * geom.Assoc
+	data := make([][]byte, n)
+	raw := make([]byte, n*geom.LineBytes)
+	for i := range data {
+		data[i] = raw[i*geom.LineBytes : (i+1)*geom.LineBytes]
+	}
+	f := &Functional{level: level, data: data, backing: backing}
+	return f, nil
+}
+
+// Level exposes the underlying tag/state model (for statistics).
+func (f *Functional) Level() *Level { return f.level }
+
+func (f *Functional) wayData(addr uint64) []byte {
+	setIdx := f.level.setIndex(addr)
+	set := f.level.sets[setIdx]
+	tag := f.level.tagOf(addr)
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == tag {
+			return f.data[int(setIdx)*f.level.geom.Assoc+i]
+		}
+	}
+	return nil
+}
+
+// ensure brings the line containing addr into the cache, writing back any
+// dirty victim, and returns the line's data slice.
+func (f *Functional) ensure(addr uint64, write bool) []byte {
+	if d := f.wayData(addr); d != nil {
+		f.level.Lookup(addr, write) // refresh LRU/dirty and count the hit
+		return d
+	}
+	f.level.Lookup(addr, write) // count the miss
+	lineAddr := f.level.LineAddr(addr)
+	setIdx := f.level.setIndex(addr)
+	// Capture the victim's data before Install overwrites the way: find
+	// which way Install will pick by replicating its choice through the
+	// returned victim address.
+	victimAddr, victimDirty, evicted := f.level.Install(addr, write)
+	// Locate the way now holding our tag.
+	set := f.level.sets[setIdx]
+	tag := f.level.tagOf(addr)
+	wayIdx := -1
+	for i := range set {
+		if set[i].state != stateInvalid && set[i].tag == tag {
+			wayIdx = i
+			break
+		}
+	}
+	if wayIdx < 0 {
+		panic("cache: line vanished immediately after install")
+	}
+	d := f.data[int(setIdx)*f.level.geom.Assoc+wayIdx]
+	// The way Install selected is the one now holding our tag; its data
+	// array still holds the victim's bytes, so write them back first.
+	if evicted && victimDirty {
+		f.backing.WriteAt(victimAddr, d)
+	}
+	f.backing.ReadAt(lineAddr, d)
+	return d
+}
+
+// Read copies len(p) bytes at addr through the cache. The span must not
+// cross a line boundary (the simulator's accesses never do: they are
+// naturally aligned and at most 8 bytes).
+func (f *Functional) Read(addr uint64, p []byte) error {
+	if err := f.checkSpan(addr, len(p)); err != nil {
+		return err
+	}
+	d := f.ensure(addr, false)
+	off := addr - f.level.LineAddr(addr)
+	copy(p, d[off:off+uint64(len(p))])
+	return nil
+}
+
+// Write copies p into the cache at addr (write-allocate, write-back). The
+// span must not cross a line boundary.
+func (f *Functional) Write(addr uint64, p []byte) error {
+	if err := f.checkSpan(addr, len(p)); err != nil {
+		return err
+	}
+	d := f.ensure(addr, true)
+	off := addr - f.level.LineAddr(addr)
+	copy(d[off:off+uint64(len(p))], p)
+	return nil
+}
+
+func (f *Functional) checkSpan(addr uint64, n int) error {
+	if n <= 0 || n > f.level.geom.LineBytes {
+		return fmt.Errorf("cache: span of %d bytes invalid for %d-byte lines", n, f.level.geom.LineBytes)
+	}
+	if f.level.LineAddr(addr) != f.level.LineAddr(addr+uint64(n)-1) {
+		return fmt.Errorf("cache: span [%#x,%#x) crosses a line boundary", addr, addr+uint64(n))
+	}
+	return nil
+}
+
+// Flush writes every dirty line back to the store and invalidates the whole
+// cache. After Flush, the store holds the complete memory image.
+func (f *Functional) Flush() {
+	for setIdx, set := range f.level.sets {
+		for i := range set {
+			if set[i].state == stateDirty {
+				lineAddr := f.level.lineAddrFromTag(set[i].tag)
+				f.backing.WriteAt(lineAddr, f.data[setIdx*f.level.geom.Assoc+i])
+			}
+			set[i].state = stateInvalid
+		}
+	}
+}

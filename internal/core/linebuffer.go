@@ -1,0 +1,170 @@
+// Package core implements the paper's contribution: the machinery that
+// raises the efficiency of a single data-cache port to near dual-port
+// performance. Three cooperating mechanisms are provided:
+//
+//   - LineBufferSet ("load-all"): when a load uses a wide cache port, the
+//     entire aligned port-width chunk is read out and latched; subsequent
+//     loads that hit a latched chunk are satisfied without consuming a port.
+//   - StoreBuffer: a decoupling buffer between instruction commit and the
+//     cache port that smooths store bursts and, with combining enabled,
+//     coalesces stores to the same aligned chunk so one port write retires
+//     several program stores.
+//   - MemPort: the per-cycle port arbiter that ties the two to the cache
+//     hierarchy, giving loads priority and draining stores into idle port
+//     slots.
+package core
+
+// LineBufferSet is a small fully associative set of load-all buffers. Each
+// buffer holds the address of one aligned chunk of port-width bytes plus the
+// cycle at which its data became available. Replacement is true LRU.
+//
+// Coherence: the set must be invalidated on (a) any store to a latched chunk
+// and (b) replacement of the underlying cache line; MemPort wires both. The
+// buffers therefore never supply stale data — a property checked by the
+// package tests against a functional cache.
+type LineBufferSet struct {
+	chunkBytes uint64
+	entries    []lineBuffer
+	clock      uint64
+
+	hits, fills, invalidations, misses uint64
+}
+
+type lineBuffer struct {
+	chunkAddr uint64
+	readyAt   uint64
+	lru       uint64
+	valid     bool
+}
+
+// NewLineBufferSet returns a set of n load-all buffers for chunkBytes-wide
+// ports. n == 0 yields a disabled set on which Lookup always misses; that is
+// the baseline (no load-all) configuration.
+func NewLineBufferSet(n int, chunkBytes int) *LineBufferSet {
+	if n < 0 {
+		n = 0
+	}
+	return &LineBufferSet{
+		chunkBytes: uint64(chunkBytes),
+		entries:    make([]lineBuffer, n),
+	}
+}
+
+// ChunkAddr returns addr rounded down to its aligned port-width chunk.
+func (s *LineBufferSet) ChunkAddr(addr uint64) uint64 { return addr &^ (s.chunkBytes - 1) }
+
+// Lookup probes the set for the chunk containing addr. On a hit it refreshes
+// LRU state and returns the cycle the chunk's data became (or becomes)
+// available; the caller takes max(now, readyAt) as the load's data-ready
+// time. Accesses are at most 8 bytes and naturally aligned, so they never
+// cross a chunk boundary.
+func (s *LineBufferSet) Lookup(addr uint64) (readyAt uint64, hit bool) {
+	chunk := s.ChunkAddr(addr)
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.chunkAddr == chunk {
+			s.clock++
+			e.lru = s.clock
+			s.hits++
+			return e.readyAt, true
+		}
+	}
+	s.misses++
+	return 0, false
+}
+
+// Fill latches the chunk containing addr, with its data available at
+// readyAt, replacing the LRU buffer. Filling an already-latched chunk just
+// refreshes it. Fill is a no-op on a disabled set.
+func (s *LineBufferSet) Fill(addr, readyAt uint64) {
+	if len(s.entries) == 0 {
+		return
+	}
+	chunk := s.ChunkAddr(addr)
+	s.clock++
+	victim := 0
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.chunkAddr == chunk {
+			e.readyAt = readyAt
+			e.lru = s.clock
+			return
+		}
+		if !e.valid {
+			victim = i
+			continue
+		}
+		if s.entries[victim].valid && e.lru < s.entries[victim].lru {
+			victim = i
+		}
+	}
+	s.entries[victim] = lineBuffer{chunkAddr: chunk, readyAt: readyAt, lru: s.clock, valid: true}
+	s.fills++
+}
+
+// InvalidateChunk drops the buffer latching the chunk that contains addr, if
+// any. Called for every store that enters the store buffer.
+func (s *LineBufferSet) InvalidateChunk(addr uint64) {
+	chunk := s.ChunkAddr(addr)
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.chunkAddr == chunk {
+			e.valid = false
+			s.invalidations++
+			return
+		}
+	}
+}
+
+// InvalidateLine drops every buffer whose chunk lies inside the cache line
+// [lineAddr, lineAddr+lineBytes). Called from the L1D eviction hook.
+func (s *LineBufferSet) InvalidateLine(lineAddr uint64, lineBytes int) {
+	end := lineAddr + uint64(lineBytes)
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid && e.chunkAddr >= lineAddr && e.chunkAddr < end {
+			e.valid = false
+			s.invalidations++
+		}
+	}
+}
+
+// InvalidateAll empties the set (used at kernel entry in OS-disruption
+// experiments and by tests).
+func (s *LineBufferSet) InvalidateAll() {
+	for i := range s.entries {
+		if s.entries[i].valid {
+			s.entries[i].valid = false
+			s.invalidations++
+		}
+	}
+}
+
+// Size returns the number of buffers.
+func (s *LineBufferSet) Size() int { return len(s.entries) }
+
+// Live returns the number of currently valid buffers.
+func (s *LineBufferSet) Live() int {
+	n := 0
+	for i := range s.entries {
+		if s.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Hits, Misses, Fills and Invalidations return statistics.
+func (s *LineBufferSet) Hits() uint64          { return s.hits }
+func (s *LineBufferSet) Misses() uint64        { return s.misses }
+func (s *LineBufferSet) Fills() uint64         { return s.fills }
+func (s *LineBufferSet) Invalidations() uint64 { return s.invalidations }
+
+// HitRate returns hits/(hits+misses), zero when unused.
+func (s *LineBufferSet) HitRate() float64 {
+	total := s.hits + s.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(total)
+}

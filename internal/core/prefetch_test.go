@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"portsim/internal/config"
+)
+
+func prefetchPorts() config.Ports {
+	p := singleNarrow()
+	p.PrefetchNextLine = true
+	p.PrefetchDegree = 1
+	return p
+}
+
+func TestPrefetchConfigValidation(t *testing.T) {
+	m := config.Baseline()
+	m.Ports.PrefetchNextLine = true
+	m.Ports.PrefetchDegree = 0
+	if err := m.Validate(); err == nil {
+		t.Error("prefetch without degree accepted")
+	}
+	m.Ports.PrefetchDegree = 9
+	if err := m.Validate(); err == nil {
+		t.Error("oversized prefetch degree accepted")
+	}
+	m.Ports.PrefetchDegree = 2
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid prefetch config rejected: %v", err)
+	}
+	m = config.Baseline()
+	m.Ports.PrefetchDegree = 2 // without enabling
+	if err := m.Validate(); err == nil {
+		t.Error("degree without enable accepted")
+	}
+}
+
+func TestPrefetchIssuesIntoIdleSlots(t *testing.T) {
+	p, sys := newPort(t, prefetchPorts())
+	p.BeginCycle(0)
+	p.TryLoad(0, 0x1000, 8) // miss on line 0x1000: queues 0x1020
+	p.EndCycle(0)           // port already used by the load this cycle
+	p.FinishCycle()
+	p.BeginCycle(1)
+	p.EndCycle(1) // idle slot: prefetch issues
+	p.FinishCycle()
+	if got := p.prefetches; got != 1 {
+		t.Fatalf("prefetches = %d, want 1", got)
+	}
+	// After the fill lands, the next line is resident without any demand
+	// access having touched it.
+	p.BeginCycle(100000)
+	if !sys.L1D.Contains(0x1020) {
+		t.Error("prefetched line not resident")
+	}
+}
+
+func TestPrefetchHasLowestPriority(t *testing.T) {
+	p, _ := newPort(t, prefetchPorts())
+	p.BeginCycle(0)
+	p.TryLoad(0, 0x1000, 8) // queues a prefetch
+	p.EndCycle(0)
+	p.FinishCycle()
+	// Next cycle: a demand load takes the single port; the prefetch must
+	// wait.
+	p.BeginCycle(1)
+	p.TryLoad(1, 0x9000, 8)
+	p.EndCycle(1)
+	p.FinishCycle()
+	if p.prefetches != 0 {
+		t.Fatal("prefetch stole the port from a demand load")
+	}
+	p.BeginCycle(2)
+	p.EndCycle(2)
+	if p.prefetches != 1 {
+		t.Fatal("prefetch did not issue into the idle cycle")
+	}
+}
+
+func TestPrefetchUsefulnessCounting(t *testing.T) {
+	p, _ := newPort(t, prefetchPorts())
+	p.BeginCycle(0)
+	p.TryLoad(0, 0x1000, 8)
+	p.EndCycle(0)
+	p.FinishCycle()
+	p.BeginCycle(1)
+	p.EndCycle(1) // issues prefetch of 0x1020
+	p.FinishCycle()
+	// Run the clock forward so the fills land and their refill bandwidth
+	// is fully paid, then demand-load the prefetched line.
+	for cyc := uint64(2); cyc < 1000; cyc++ {
+		p.BeginCycle(cyc)
+		p.EndCycle(cyc)
+		p.FinishCycle()
+	}
+	now := uint64(1000)
+	p.BeginCycle(now)
+	r := p.TryLoad(now, 0x1020, 8)
+	if !r.Accepted {
+		t.Fatal("demand load refused")
+	}
+	if p.usefulPrefetch != 1 {
+		t.Errorf("useful prefetches = %d, want 1", p.usefulPrefetch)
+	}
+}
+
+func TestPrefetchDropsResidentLines(t *testing.T) {
+	p, sys := newPort(t, prefetchPorts())
+	// Install the next line directly so no prefetch traffic is queued by
+	// the warm-up itself.
+	sys.L1D.Install(0x1000, false)
+	// Miss a line whose next line is already resident: the prefetch for
+	// it must be dropped without consuming a slot.
+	p.BeginCycle(0)
+	p.TryLoad(0, 0xfe0, 8) // queues prefetch of 0x1000 (resident)
+	p.EndCycle(0)
+	p.FinishCycle()
+	p.BeginCycle(1)
+	p.EndCycle(1)
+	p.FinishCycle()
+	if p.prefetches != 0 {
+		t.Error("prefetch of a resident line consumed a port slot")
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	p, _ := newPort(t, singleNarrow())
+	p.BeginCycle(0)
+	p.TryLoad(0, 0x1000, 8)
+	p.EndCycle(0)
+	p.FinishCycle()
+	p.BeginCycle(1)
+	p.EndCycle(1)
+	if p.prefetches != 0 {
+		t.Error("prefetches issued with the feature disabled")
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import "fmt"
+
+// maxChunkBytes bounds the port width the store buffer supports; entries
+// carry fixed-size arrays to keep the simulator allocation-free.
+const maxChunkBytes = 64
+
+// SBEntry is one store-buffer entry: an aligned chunk with a byte mask of
+// the written bytes and, optionally, the written data (tests run the buffer
+// with data to prove byte-exactness; the timing simulator runs address-only).
+type SBEntry struct {
+	ChunkAddr uint64
+	// Mask has bit i set when byte i of the chunk has been written.
+	Mask uint64
+	// Data holds the written bytes at their chunk offsets (valid where
+	// Mask is set) when the buffer runs in data-carrying mode.
+	Data [maxChunkBytes]byte
+	// issued marks that the entry's port write has been sent to the
+	// cache; it still occupies the buffer until drainDone.
+	issued bool
+	// drainDone is the cycle the entry's cache write completes (valid
+	// once issued).
+	drainDone uint64
+	// seq is the insertion sequence number, for age ordering.
+	seq uint64
+	// insertedAt is the cycle the entry was created, for the combining
+	// hold policy.
+	insertedAt uint64
+}
+
+// StoreBuffer is the decoupling buffer between commit and the cache port.
+// Entries are drained oldest-first; with combining enabled, at most one
+// entry exists per chunk and later stores to the chunk merge into it, so one
+// port write retires several program stores.
+type StoreBuffer struct {
+	chunkBytes uint64
+	capacity   int
+	combining  bool
+	entries    []SBEntry // ordered oldest first
+	nextSeq    uint64
+
+	inserts, combined, drains, forwards, conflicts uint64
+	occupancySamples, occupancySum                 uint64
+}
+
+// NewStoreBuffer returns a store buffer of the given capacity for
+// chunkBytes-wide ports. It panics on invalid sizing, which indicates a
+// configuration-validation bug upstream.
+func NewStoreBuffer(capacity, chunkBytes int, combining bool) *StoreBuffer {
+	if capacity < 1 {
+		panic("core: store buffer capacity must be positive")
+	}
+	if chunkBytes < 8 || chunkBytes > maxChunkBytes || chunkBytes&(chunkBytes-1) != 0 {
+		panic(fmt.Sprintf("core: unsupported chunk width %d", chunkBytes))
+	}
+	return &StoreBuffer{
+		chunkBytes: uint64(chunkBytes),
+		capacity:   capacity,
+		combining:  combining,
+		entries:    make([]SBEntry, 0, capacity),
+	}
+}
+
+// ChunkAddr returns addr rounded down to its aligned chunk.
+func (b *StoreBuffer) ChunkAddr(addr uint64) uint64 { return addr &^ (b.chunkBytes - 1) }
+
+func maskFor(offset uint64, size int) uint64 {
+	return ((uint64(1) << size) - 1) << offset
+}
+
+// CanAccept reports whether a store of size bytes at addr can enter the
+// buffer this cycle: either it combines into an existing un-issued entry for
+// its chunk, or a free slot exists.
+func (b *StoreBuffer) CanAccept(addr uint64, size int) bool {
+	if b.combining {
+		chunk := b.ChunkAddr(addr)
+		for i := range b.entries {
+			if b.entries[i].ChunkAddr == chunk && !b.entries[i].issued {
+				return true
+			}
+		}
+	}
+	return len(b.entries) < b.capacity
+}
+
+// Insert adds a committed store to the buffer. data may be nil (timing-only
+// mode) or exactly size bytes (data-carrying mode). It returns whether the
+// store was merged into an existing entry. Callers must check CanAccept
+// first; Insert panics when the buffer cannot take the store, because a
+// lost store would silently corrupt the simulation.
+func (b *StoreBuffer) Insert(now, addr uint64, size int, data []byte) (combined bool) {
+	if size <= 0 || size > 8 {
+		panic(fmt.Sprintf("core: store size %d unsupported", size))
+	}
+	if data != nil && len(data) != size {
+		panic("core: data length disagrees with store size")
+	}
+	chunk := b.ChunkAddr(addr)
+	offset := addr - chunk
+	mask := maskFor(offset, size)
+	b.inserts++
+	if b.combining {
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.ChunkAddr == chunk && !e.issued {
+				e.Mask |= mask
+				if data != nil {
+					copy(e.Data[offset:], data)
+				}
+				b.combined++
+				return true
+			}
+		}
+	}
+	if len(b.entries) >= b.capacity {
+		panic("core: Insert on a full store buffer; call CanAccept first")
+	}
+	var e SBEntry
+	e.ChunkAddr = chunk
+	e.Mask = mask
+	e.insertedAt = now
+	e.seq = b.nextSeq
+	b.nextSeq++
+	if data != nil {
+		copy(e.Data[offset:], data)
+	}
+	b.entries = append(b.entries, e)
+	return false
+}
+
+// Probe checks a load of size bytes at addr against every occupying entry
+// (including issued-but-incomplete ones, whose data is not yet in the
+// cache). It returns:
+//
+//   - forward=true when the youngest matching entry covers every byte of the
+//     load: the load can be satisfied from the buffer without a port access.
+//   - conflict=true when some entry overlaps the load but does not fully
+//     cover it: the load must wait for the entry to drain.
+//
+// With combining enabled there is at most one un-issued entry per chunk, but
+// issued entries for the same chunk may coexist with it; the youngest match
+// wins, which is the correct per-location ordering because younger entries
+// hold the newer bytes.
+func (b *StoreBuffer) Probe(addr uint64, size int) (forward, conflict bool) {
+	chunk := b.ChunkAddr(addr)
+	offset := addr - chunk
+	mask := maskFor(offset, size)
+	// Scan youngest-first so the newest matching entry decides.
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		e := &b.entries[i]
+		if e.ChunkAddr != chunk || e.Mask&mask == 0 {
+			continue
+		}
+		if e.Mask&mask == mask {
+			b.forwards++
+			return true, false
+		}
+		b.conflicts++
+		return false, true
+	}
+	return false, false
+}
+
+// ReadForward copies the buffered bytes for a load previously approved by
+// Probe (forward=true) out of the youngest covering entry. It is only
+// meaningful in data-carrying mode and returns false if no covering entry
+// exists (the caller raced a drain — a bug Probe/Drain sequencing prevents).
+func (b *StoreBuffer) ReadForward(addr uint64, p []byte) bool {
+	chunk := b.ChunkAddr(addr)
+	offset := addr - chunk
+	mask := maskFor(offset, len(p))
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		e := &b.entries[i]
+		if e.ChunkAddr == chunk && e.Mask&mask == mask {
+			copy(p, e.Data[offset:offset+uint64(len(p))])
+			return true
+		}
+	}
+	return false
+}
+
+// NextDrain returns the oldest un-issued entry whose chunk has no older
+// write still in flight, or nil when none is ready. The same-chunk guard
+// preserves per-location ordering: without it, a younger store that hits in
+// the cache could complete before an older store to the same chunk that
+// missed, leaving the older bytes as the final value. The returned pointer
+// is valid until the next mutation.
+func (b *StoreBuffer) NextDrain() *SBEntry {
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.issued {
+			continue
+		}
+		blocked := false
+		for j := 0; j < i; j++ {
+			if b.entries[j].ChunkAddr == e.ChunkAddr {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return e
+		}
+	}
+	return nil
+}
+
+// MarkIssued records that the entry's port write was sent at some cycle and
+// completes at done. The entry keeps occupying the buffer until Expire
+// removes it at or after done.
+func (b *StoreBuffer) MarkIssued(e *SBEntry, done uint64) {
+	e.issued = true
+	e.drainDone = done
+	b.drains++
+}
+
+// Age returns how many cycles the entry has been buffered.
+func (e *SBEntry) Age(now uint64) uint64 {
+	if now < e.insertedAt {
+		return 0
+	}
+	return now - e.insertedAt
+}
+
+// Expire removes issued entries whose cache writes have completed by cycle
+// now, returning them (oldest first) so the caller can apply their data in
+// data-carrying mode.
+func (b *StoreBuffer) Expire(now uint64) []SBEntry {
+	var done []SBEntry
+	kept := b.entries[:0]
+	for i := range b.entries {
+		e := b.entries[i]
+		if e.issued && e.drainDone <= now {
+			done = append(done, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	b.entries = kept
+	return done
+}
+
+// SampleOccupancy records the current occupancy for the utilisation stats.
+func (b *StoreBuffer) SampleOccupancy() {
+	b.occupancySamples++
+	b.occupancySum += uint64(len(b.entries))
+}
+
+// Len returns the number of occupying entries.
+func (b *StoreBuffer) Len() int { return len(b.entries) }
+
+// Cap returns the buffer capacity.
+func (b *StoreBuffer) Cap() int { return b.capacity }
+
+// Inserts, Combined, Drains, Forwards and Conflicts return statistics.
+// StoresPerDrain is the headline combining metric: program stores retired
+// per port write.
+func (b *StoreBuffer) Inserts() uint64   { return b.inserts }
+func (b *StoreBuffer) Combined() uint64  { return b.combined }
+func (b *StoreBuffer) Drains() uint64    { return b.drains }
+func (b *StoreBuffer) Forwards() uint64  { return b.forwards }
+func (b *StoreBuffer) Conflicts() uint64 { return b.conflicts }
+
+// StoresPerDrain returns inserts/drains, zero when nothing drained yet.
+func (b *StoreBuffer) StoresPerDrain() float64 {
+	if b.drains == 0 {
+		return 0
+	}
+	return float64(b.inserts) / float64(b.drains)
+}
+
+// MeanOccupancy returns the average sampled occupancy.
+func (b *StoreBuffer) MeanOccupancy() float64 {
+	if b.occupancySamples == 0 {
+		return 0
+	}
+	return float64(b.occupancySum) / float64(b.occupancySamples)
+}

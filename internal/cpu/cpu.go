@@ -1,0 +1,415 @@
+// Package cpu implements the dynamic superscalar processor model: a
+// 4-wide out-of-order core in the style of the MIPS R10000 — fetch with
+// branch prediction, register renaming over physical register files, a
+// reorder buffer, issue queues, a load/store queue with store-to-load
+// forwarding, and in-order commit. The data side of the machine talks to
+// the cache hierarchy exclusively through internal/core's MemPort, which is
+// where the paper's port-efficiency techniques live.
+//
+// The model is trace-driven with execution timing: the workload generator
+// supplies the committed path, and speculation is modelled by running the
+// branch predictor at fetch and charging redirect bubbles when it disagrees
+// with the trace. Wrong-path instructions are not simulated; their cost
+// appears as the fetch stall between a mispredicted branch entering the
+// pipeline and its resolution, plus the configured redirect penalty. This
+// is the standard trace-driven approximation and preserves the property the
+// study needs: the burstiness and density of memory references offered to
+// the cache port.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"portsim/internal/bpred"
+	"portsim/internal/config"
+	"portsim/internal/core"
+	"portsim/internal/isa"
+	"portsim/internal/mem"
+	"portsim/internal/stats"
+	"portsim/internal/trace"
+)
+
+// never is a completion time that has not been scheduled yet.
+const never = math.MaxUint64
+
+// entryState tracks an instruction's progress through the backend.
+type entryState uint8
+
+const (
+	stateDispatched entryState = iota
+	stateIssued                // execution scheduled; completes at doneAt
+	stateDone                  // result available
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	inst isa.Inst
+	seq  uint64
+
+	state  entryState
+	doneAt uint64 // completion cycle (valid once issued)
+
+	// Renaming.
+	destPhys, prevPhys int16 // -1 when the instruction has no destination
+	src1Phys, src2Phys int16 // -1 when no dependence
+
+	// Memory ordering (loads/stores only).
+	addrReadyAt uint64 // cycle the effective address is known
+
+	// dispatchedAt anchors address-generation timing for operand-free
+	// memory operations.
+	dispatchedAt uint64
+
+	// Control flow.
+	mispredicted bool // fetch stalled on this instruction until resolution
+	serialize    bool // syscall: fetch resumes only after commit
+}
+
+// fetchedInst sits in the fetch buffer between fetch and rename.
+type fetchedInst struct {
+	inst         isa.Inst
+	seq          uint64
+	mispredicted bool
+	serialize    bool
+}
+
+// Options tune a simulation run.
+type Options struct {
+	// MaxInstructions bounds the committed instruction count; zero means
+	// run until the stream ends.
+	MaxInstructions uint64
+	// DeadlineCycles aborts the run with an error if the cycle count
+	// exceeds it — a guard against model deadlocks. Zero disables it.
+	DeadlineCycles uint64
+}
+
+// Result summarises a completed simulation.
+type Result struct {
+	Cycles       uint64
+	Instructions uint64
+	UserInsts    uint64
+	KernelInsts  uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	Mispredicts  uint64
+
+	// IPC is Instructions/Cycles.
+	IPC float64
+	// Counters carries every detailed statistic (port.*, cache.*, ...).
+	Counters *stats.Set
+}
+
+// Core is the simulated processor plus its memory system.
+type Core struct {
+	cfg  *config.Machine
+	sys  *mem.System
+	port *core.MemPort
+	pred *bpred.Unit
+
+	stream trace.Stream
+	cycle  uint64
+	seq    uint64
+
+	// Reorder buffer as a ring.
+	rob       []robEntry
+	robHead   int
+	robCount  int
+	committed uint64
+	maxInsts  uint64
+
+	// Physical register files: readyAt per register, free lists.
+	intReady, fpReady []uint64
+	intFree, fpFree   []int16
+	intMap, fpMap     [32]int16
+
+	// Issue-queue and load/store-queue occupancy (entries are tracked in
+	// the ROB itself; these counters model the finite structures).
+	intQCount, fpQCount int
+	lqCount, sqCount    int
+
+	// Functional-unit availability.
+	intDivFreeAt, fpDivFreeAt uint64
+
+	// Fetch state.
+	fetchBuf        []fetchedInst
+	fetchBufCap     int
+	fetchBlockedTil uint64
+	stallSeq        uint64 // seq of the unresolved control inst blocking fetch (0 = none)
+	stallOnCommit   bool   // the blocking instruction releases fetch at commit (syscall)
+	curFetchLine    uint64
+	havePending     bool
+	pending         isa.Inst
+	streamDone      bool
+	wrongPathPC     uint64 // next wrong-path fetch address (0 = none)
+	wrongPathLines  uint64
+
+	// lastCommitSeq guards the fundamental ROB invariant: commits happen
+	// in fetch (= program) order. Violations indicate ring-index bugs and
+	// abort immediately.
+	lastCommitSeq uint64
+
+	// Statistics.
+	loads, stores, branches, mispredicts uint64
+	memViolations                        uint64
+	lsqForwards                          uint64
+	userInsts, kernelInsts               uint64
+	fetchStallCycles, robFullCycles      uint64
+	commitStallSB                        uint64
+	classCount                           [isa.NumClasses]uint64
+}
+
+// New builds a core from a validated machine configuration and an
+// instruction stream.
+func New(cfg *config.Machine, stream trace.Stream) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sys, err := mem.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := bpred.New(cfg.Pred)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:          cfg,
+		sys:          sys,
+		port:         core.NewMemPort(cfg.Ports, sys),
+		pred:         pred,
+		stream:       stream,
+		rob:          make([]robEntry, cfg.Core.ROBEntries),
+		fetchBufCap:  4 * cfg.Core.FetchWidth,
+		curFetchLine: ^uint64(0),
+	}
+	c.intReady = make([]uint64, cfg.Core.IntPhysRegs)
+	c.fpReady = make([]uint64, cfg.Core.FPPhysRegs)
+	// Architectural registers 0..31 map to physical 0..31 initially; the
+	// rest are free.
+	for i := 0; i < 32; i++ {
+		c.intMap[i] = int16(i)
+		c.fpMap[i] = int16(i)
+	}
+	for i := 32; i < cfg.Core.IntPhysRegs; i++ {
+		c.intFree = append(c.intFree, int16(i))
+	}
+	for i := 32; i < cfg.Core.FPPhysRegs; i++ {
+		c.fpFree = append(c.fpFree, int16(i))
+	}
+	return c, nil
+}
+
+// Port exposes the memory-port subsystem for inspection.
+func (c *Core) Port() *core.MemPort { return c.port }
+
+// Mem exposes the memory hierarchy for inspection.
+func (c *Core) Mem() *mem.System { return c.sys }
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// ErrDeadline reports that a run exceeded its cycle budget, which indicates
+// a model deadlock or a grossly underestimated deadline.
+var ErrDeadline = errors.New("cpu: deadline exceeded; possible pipeline deadlock")
+
+// Run simulates until the stream ends or opts.MaxInstructions commit, then
+// drains the pipeline and the store buffer, and returns the result.
+func (c *Core) Run(opts Options) (*Result, error) {
+	c.maxInsts = opts.MaxInstructions
+	for {
+		if c.drained() {
+			break
+		}
+		if opts.DeadlineCycles > 0 && c.cycle > opts.DeadlineCycles {
+			return nil, fmt.Errorf("%w (cycle %d, committed %d)", ErrDeadline, c.cycle, c.committed)
+		}
+		c.step()
+	}
+	// Account the final store-buffer drain.
+	if c.port.PendingStores() > 0 {
+		last := c.port.DrainAll(c.cycle)
+		if last > c.cycle {
+			c.cycle = last
+		}
+	}
+	return c.result(), nil
+}
+
+// drained reports that no work remains anywhere in the machine.
+func (c *Core) drained() bool {
+	if c.robCount > 0 || len(c.fetchBuf) > 0 || c.havePending {
+		return false
+	}
+	if c.limitReached() {
+		return true
+	}
+	return c.streamDone
+}
+
+// limitReached gates fetch: once maxInsts instructions have been fetched,
+// no more enter the pipeline, so exactly maxInsts commit.
+func (c *Core) limitReached() bool {
+	return c.maxInsts > 0 && c.seq >= c.maxInsts
+}
+
+// step advances one cycle. Stage order within a cycle follows the usual
+// reverse-pipeline convention so that each stage sees the previous cycle's
+// state of the stage in front of it.
+func (c *Core) step() {
+	c.port.BeginCycle(c.cycle)
+	c.commit()
+	c.complete()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+	c.port.EndCycle(c.cycle)
+	c.port.FinishCycle()
+	c.cycle++
+}
+
+// result assembles the Result from the counters.
+func (c *Core) result() *Result {
+	s := stats.NewSet()
+	s.Add("cycles", c.cycle)
+	s.Add("instructions", c.committed)
+	s.Add("insts.user", c.userInsts)
+	s.Add("insts.kernel", c.kernelInsts)
+	s.Add("loads", c.loads)
+	s.Add("stores", c.stores)
+	s.Add("branches", c.branches)
+	s.Add("mispredicts", c.mispredicts)
+	s.Add("stall.fetch_cycles", c.fetchStallCycles)
+	s.Add("stall.rob_full_cycles", c.robFullCycles)
+	s.Add("stall.commit_store_buffer", c.commitStallSB)
+	s.Add("lsq.forwards", c.lsqForwards)
+	s.Add("lsq.violations", c.memViolations)
+	for cls := 0; cls < isa.NumClasses; cls++ {
+		if c.classCount[cls] > 0 {
+			s.Add("class."+isa.Class(cls).String(), c.classCount[cls])
+		}
+	}
+	s.Add("l1d.hits", c.sys.L1D.Hits())
+	s.Add("l1d.misses", c.sys.L1D.Misses())
+	s.Add("l1d.writebacks", c.sys.L1D.Writebacks())
+	s.Add("fetch.wrong_path_lines", c.wrongPathLines)
+	s.Add("l1i.hits", c.sys.L1I.Hits())
+	s.Add("l1i.misses", c.sys.L1I.Misses())
+	s.Add("l2.hits", c.sys.L2.Hits())
+	s.Add("l2.misses", c.sys.L2.Misses())
+	s.Add("dram.accesses", c.sys.DRAMAccesses())
+	s.Add("itlb.hits", c.sys.ITLB.Hits())
+	s.Add("itlb.misses", c.sys.ITLB.Misses())
+	s.Add("dtlb.hits", c.sys.DTLB.Hits())
+	s.Add("dtlb.misses", c.sys.DTLB.Misses())
+	c.port.Report(s)
+	ipc := 0.0
+	if c.cycle > 0 {
+		ipc = float64(c.committed) / float64(c.cycle)
+	}
+	return &Result{
+		Cycles:       c.cycle,
+		Instructions: c.committed,
+		UserInsts:    c.userInsts,
+		KernelInsts:  c.kernelInsts,
+		Loads:        c.loads,
+		Stores:       c.stores,
+		Branches:     c.branches,
+		Mispredicts:  c.mispredicts,
+		IPC:          ipc,
+		Counters:     s,
+	}
+}
+
+// robIndex converts a ring offset from head into a slice index.
+func (c *Core) robIndex(off int) int { return (c.robHead + off) % len(c.rob) }
+
+// commit retires up to CommitWidth completed instructions in program order.
+func (c *Core) commit() {
+	width := c.cfg.Core.CommitWidth
+	for n := 0; n < width && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if e.state != stateDone || e.doneAt > c.cycle {
+			return
+		}
+		if e.inst.Class == isa.Store {
+			if !c.port.TryCommitStore(c.cycle, e.inst.Addr, int(e.inst.Size)) {
+				c.commitStallSB++
+				return
+			}
+		}
+		c.retire(e)
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+	}
+}
+
+// retire finalises one instruction: trains the predictor in program order,
+// releases the previous physical mapping, releases fetch stalls owned by
+// serialising instructions, and updates counters.
+func (c *Core) retire(e *robEntry) {
+	if e.seq <= c.lastCommitSeq {
+		panic(fmt.Sprintf("cpu: commit out of order: seq %d after %d", e.seq, c.lastCommitSeq))
+	}
+	c.lastCommitSeq = e.seq
+	in := &e.inst
+	if e.prevPhys >= 0 {
+		if in.Dest.IsFP() {
+			c.fpFree = append(c.fpFree, e.prevPhys)
+		} else {
+			c.intFree = append(c.intFree, e.prevPhys)
+		}
+	}
+	if e.mispredicted {
+		c.mispredicts++
+	}
+	switch in.Class {
+	case isa.Load:
+		c.lqCount--
+	case isa.Store:
+		c.sqCount--
+	}
+	if e.serialize && c.stallSeq == e.seq {
+		// Syscall: fetch resumes after the drain plus the redirect
+		// bubble.
+		c.stallSeq = 0
+		c.fetchBlockedTil = c.cycle + uint64(c.cfg.Core.MispredictPenalty)
+	}
+	c.committed++
+	c.classCount[in.Class]++
+	if in.Kernel {
+		c.kernelInsts++
+	} else {
+		c.userInsts++
+	}
+	switch in.Class {
+	case isa.Load:
+		c.loads++
+	case isa.Store:
+		c.stores++
+	case isa.Branch:
+		c.branches++
+	}
+}
+
+// complete promotes issued entries whose completion time has arrived.
+// Address-issued stores whose data producer was unscheduled at issue time
+// get their completion time finalised here once the producer schedules.
+func (c *Core) complete() {
+	for off := 0; off < c.robCount; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if e.state == stateIssued && e.doneAt == never && e.inst.Class == isa.Store {
+			e.doneAt = c.storeDoneAt(e)
+		}
+		if e.state == stateIssued && e.doneAt <= c.cycle {
+			e.state = stateDone
+			if e.mispredicted && c.stallSeq == e.seq && !e.serialize {
+				// Misprediction resolved: redirect fetch.
+				c.stallSeq = 0
+				c.fetchBlockedTil = e.doneAt + uint64(c.cfg.Core.MispredictPenalty)
+			}
+		}
+	}
+}

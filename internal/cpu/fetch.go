@@ -1,0 +1,151 @@
+package cpu
+
+import (
+	"portsim/internal/isa"
+)
+
+// fetch pulls up to FetchWidth instructions from the stream into the fetch
+// buffer, modelling the instruction cache (one line per cycle) and the
+// branch predictor. A predicted-taken control transfer ends the fetch group;
+// a misprediction (or a serialising syscall) stalls fetch until the
+// offending instruction resolves (or commits).
+func (c *Core) fetch() {
+	if c.stallSeq != 0 || c.cycle < c.fetchBlockedTil {
+		c.fetchStallCycles++
+		if c.stallSeq != 0 && !c.stallOnCommit && c.cfg.Core.WrongPathFetch && c.wrongPathPC != 0 {
+			// The real front end keeps fetching down the predicted
+			// (wrong) path until the branch resolves, polluting the
+			// instruction cache. One line per stalled cycle.
+			if r := c.sys.InstFetch(c.cycle, c.wrongPathPC); r.Accepted {
+				c.wrongPathPC += uint64(c.cfg.L1I.LineBytes)
+				c.wrongPathLines++
+			}
+		}
+		return
+	}
+	c.wrongPathPC = 0
+	lineMask := ^uint64(uint64(c.cfg.L1I.LineBytes) - 1)
+	fetched := 0
+	for fetched < c.cfg.Core.FetchWidth && len(c.fetchBuf) < c.fetchBufCap {
+		if c.limitReached() {
+			return
+		}
+		if !c.havePending {
+			if c.streamDone || !c.stream.Next(&c.pending) {
+				c.streamDone = true
+				return
+			}
+			c.havePending = true
+		}
+		in := c.pending
+		line := in.PC & lineMask
+		if line != c.curFetchLine {
+			if fetched > 0 {
+				// One instruction line per cycle: the group ends
+				// at the line boundary; the held instruction
+				// starts the next group.
+				return
+			}
+			r := c.sys.InstFetch(c.cycle, in.PC)
+			if !r.Accepted {
+				c.fetchBlockedTil = c.cycle + 1
+				return
+			}
+			c.curFetchLine = line
+			if r.Ready > c.cycle+uint64(c.cfg.L1I.HitLatency) {
+				// Instruction-cache miss: deliver when the line
+				// arrives.
+				c.fetchBlockedTil = r.Ready
+				return
+			}
+		}
+		c.havePending = false
+		c.seq++
+		f := fetchedInst{inst: in, seq: c.seq}
+		if in.Class.IsCtrl() {
+			c.predict(&f)
+		}
+		c.fetchBuf = append(c.fetchBuf, f)
+		fetched++
+		if f.mispredicted || f.serialize {
+			// Fetch stops until this instruction resolves (branch)
+			// or commits (syscall).
+			c.stallSeq = f.seq
+			c.stallOnCommit = f.serialize
+			if f.mispredicted && c.cfg.Core.WrongPathFetch {
+				c.wrongPathPC = wrongPathStart(&f.inst)
+			}
+			return
+		}
+		if in.Redirects() {
+			// Correctly predicted taken: the group ends; fetch
+			// resumes at the target next cycle. Invalidate the
+			// line tracker so the target line is fetched fresh.
+			c.curFetchLine = ^uint64(0)
+			return
+		}
+	}
+}
+
+// wrongPathStart picks the address the front end would (wrongly) have
+// fetched from: the fall-through when the branch was actually taken, the
+// stale target otherwise.
+func wrongPathStart(in *isa.Inst) uint64 {
+	if in.Redirects() {
+		return in.FallThrough()
+	}
+	if in.Target != 0 {
+		return in.Target
+	}
+	return in.FallThrough()
+}
+
+// predict runs the front-end predictors on a control instruction and marks
+// it mispredicted when the machine could not have followed the trace's
+// path. Predictor structures are trained here rather than at commit: fetch
+// order equals program order in a trace-driven model (there is no wrong
+// path), and training at fetch keeps gshare's global history exactly in
+// step with the fetch stream — the behaviour of real hardware's
+// speculatively updated, repair-on-mispredict history register.
+func (c *Core) predict(f *fetchedInst) {
+	in := &f.inst
+	switch in.Class {
+	case isa.Branch:
+		predTaken := c.pred.Dir.Predict(in.PC)
+		if predTaken != in.Taken {
+			f.mispredicted = true
+		} else if in.Taken {
+			// Direction right, but fetch can only redirect with a
+			// target from the BTB.
+			tgt, ok := c.pred.BTB.Lookup(in.PC)
+			if !ok || tgt != in.Target {
+				f.mispredicted = true
+			}
+		}
+		c.pred.Dir.Update(in.PC, in.Taken)
+		if in.Taken {
+			c.pred.BTB.Insert(in.PC, in.Target)
+		}
+	case isa.Jump:
+		tgt, ok := c.pred.BTB.Lookup(in.PC)
+		if !ok || tgt != in.Target {
+			f.mispredicted = true
+		}
+		c.pred.BTB.Insert(in.PC, in.Target)
+	case isa.Call:
+		tgt, ok := c.pred.BTB.Lookup(in.PC)
+		if !ok || tgt != in.Target {
+			f.mispredicted = true
+		}
+		c.pred.BTB.Insert(in.PC, in.Target)
+		c.pred.RAS.Push(in.FallThrough())
+	case isa.Return:
+		tgt, ok := c.pred.RAS.Pop()
+		if !ok || tgt != in.Target {
+			f.mispredicted = true
+		}
+	case isa.Syscall:
+		// Kernel entry serialises the pipeline.
+		f.serialize = true
+	}
+}

@@ -1,0 +1,392 @@
+package cpu
+
+import (
+	"portsim/internal/isa"
+)
+
+// dispatch renames and inserts up to DecodeWidth instructions from the
+// fetch buffer into the reorder buffer and issue bookkeeping. It stalls on
+// any exhausted resource: ROB slots, physical registers, issue-queue or
+// load/store-queue occupancy.
+func (c *Core) dispatch() {
+	for n := 0; n < c.cfg.Core.DecodeWidth && len(c.fetchBuf) > 0; n++ {
+		if c.robCount == len(c.rob) {
+			c.robFullCycles++
+			return
+		}
+		f := &c.fetchBuf[0]
+		in := &f.inst
+		// Queue-occupancy gating.
+		switch {
+		case in.Class == isa.Load:
+			if c.lqCount >= c.cfg.Core.LoadQueueEntries {
+				return
+			}
+		case in.Class == isa.Store:
+			if c.sqCount >= c.cfg.Core.StoreQueueEntries {
+				return
+			}
+		case in.Class.IsFPOp():
+			if c.fpQCount >= c.cfg.Core.FPIQEntries {
+				return
+			}
+		default:
+			if c.intQCount >= c.cfg.Core.IntIQEntries {
+				return
+			}
+		}
+		// Physical-register availability.
+		if in.Dest != isa.RegZero {
+			if in.Dest.IsFP() {
+				if len(c.fpFree) == 0 {
+					return
+				}
+			} else if len(c.intFree) == 0 {
+				return
+			}
+		}
+
+		idx := c.robIndex(c.robCount)
+		e := &c.rob[idx]
+		*e = robEntry{
+			inst:         *in,
+			seq:          f.seq,
+			state:        stateDispatched,
+			doneAt:       never,
+			destPhys:     -1,
+			prevPhys:     -1,
+			src1Phys:     c.renameSrc(in.Src1),
+			src2Phys:     c.renameSrc(in.Src2),
+			dispatchedAt: c.cycle,
+			mispredicted: f.mispredicted,
+			serialize:    f.serialize,
+		}
+		if in.Dest != isa.RegZero {
+			e.destPhys, e.prevPhys = c.allocDest(in.Dest)
+		}
+		switch {
+		case in.Class == isa.Load:
+			c.lqCount++
+		case in.Class == isa.Store:
+			c.sqCount++
+		case in.Class.IsFPOp():
+			c.fpQCount++
+		case in.Class == isa.Nop || in.Class == isa.Syscall:
+			// No functional unit: completes immediately. Syscall
+			// ordering comes from in-order commit plus the fetch
+			// stall it already owns.
+			e.state = stateIssued
+			e.doneAt = c.cycle + 1
+		default:
+			c.intQCount++
+		}
+		c.robCount++
+		c.fetchBuf = c.fetchBuf[1:]
+	}
+}
+
+// renameSrc resolves a source register to its current physical mapping.
+func (c *Core) renameSrc(r isa.Reg) int16 {
+	if r == isa.RegZero {
+		return -1
+	}
+	if r.IsFP() {
+		return c.fpMap[r-isa.FPBase]
+	}
+	return c.intMap[r]
+}
+
+// allocDest takes a free physical register for the destination and returns
+// (new, previous) mappings. The new register is marked not-ready until the
+// producer issues.
+func (c *Core) allocDest(r isa.Reg) (newPhys, prevPhys int16) {
+	if r.IsFP() {
+		i := r - isa.FPBase
+		newPhys = c.fpFree[len(c.fpFree)-1]
+		c.fpFree = c.fpFree[:len(c.fpFree)-1]
+		prevPhys = c.fpMap[i]
+		c.fpMap[i] = newPhys
+		c.fpReady[newPhys] = never
+		return newPhys, prevPhys
+	}
+	newPhys = c.intFree[len(c.intFree)-1]
+	c.intFree = c.intFree[:len(c.intFree)-1]
+	prevPhys = c.intMap[r]
+	c.intMap[r] = newPhys
+	c.intReady[newPhys] = never
+	return newPhys, prevPhys
+}
+
+// srcReadyAt returns the cycle a source operand becomes available (0 for
+// no dependence).
+func (c *Core) srcReadyAt(reg isa.Reg, phys int16) uint64 {
+	if phys < 0 {
+		return 0
+	}
+	if reg.IsFP() {
+		return c.fpReady[phys]
+	}
+	return c.intReady[phys]
+}
+
+// operandsReadyAt gives the cycle both operands are available.
+func (c *Core) operandsReadyAt(e *robEntry) uint64 {
+	a := c.srcReadyAt(e.inst.Src1, e.src1Phys)
+	b := c.srcReadyAt(e.inst.Src2, e.src2Phys)
+	if b > a {
+		a = b
+	}
+	return a
+}
+
+// setDestReady publishes the completion time of an instruction's result.
+func (c *Core) setDestReady(e *robEntry, at uint64) {
+	if e.destPhys < 0 {
+		return
+	}
+	if e.inst.Dest.IsFP() {
+		c.fpReady[e.destPhys] = at
+	} else {
+		c.intReady[e.destPhys] = at
+	}
+}
+
+// fuState tracks per-cycle functional-unit consumption during issue.
+type fuState struct {
+	issued int
+	memOps int
+	intALU int
+	intMul int
+	fpAdd  int
+	fpMul  int
+}
+
+// issue scans the reorder buffer oldest-first and starts execution of every
+// dispatched instruction whose operands are available and whose functional
+// unit (or memory-port path) is free this cycle.
+func (c *Core) issue() {
+	var fu fuState
+	lat := &c.cfg.Lat
+	for off := 0; off < c.robCount && fu.issued < c.cfg.Core.IssueWidth; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if e.state != stateDispatched {
+			continue
+		}
+		in := &e.inst
+		ready := c.operandsReadyAt(e)
+		if ready == never || ready > c.cycle {
+			continue
+		}
+		switch in.Class {
+		case isa.IntALU, isa.Branch, isa.Jump, isa.Call, isa.Return:
+			if fu.intALU >= c.cfg.Core.IntALUs {
+				continue
+			}
+			fu.intALU++
+			c.start(e, &fu, c.cycle+uint64(lat.IntALU))
+		case isa.IntMul:
+			if fu.intMul >= c.cfg.Core.IntMulDivs || c.cycle < c.intDivFreeAt {
+				continue
+			}
+			fu.intMul++
+			c.start(e, &fu, c.cycle+uint64(lat.IntMul))
+		case isa.IntDiv:
+			if fu.intMul >= c.cfg.Core.IntMulDivs || c.cycle < c.intDivFreeAt {
+				continue
+			}
+			fu.intMul++
+			done := c.cycle + uint64(lat.IntDiv)
+			c.intDivFreeAt = done // divider is unpipelined
+			c.start(e, &fu, done)
+		case isa.FPAdd:
+			if fu.fpAdd >= c.cfg.Core.FPAdders {
+				continue
+			}
+			fu.fpAdd++
+			c.start(e, &fu, c.cycle+uint64(lat.FPAdd))
+		case isa.FPMul:
+			if fu.fpMul >= c.cfg.Core.FPMulDivs || c.cycle < c.fpDivFreeAt {
+				continue
+			}
+			fu.fpMul++
+			c.start(e, &fu, c.cycle+uint64(lat.FPMul))
+		case isa.FPDiv:
+			if fu.fpMul >= c.cfg.Core.FPMulDivs || c.cycle < c.fpDivFreeAt {
+				continue
+			}
+			fu.fpMul++
+			done := c.cycle + uint64(lat.FPDiv)
+			c.fpDivFreeAt = done
+			c.start(e, &fu, done)
+		case isa.Store:
+			// handled below: stores need only their ADDRESS operand
+			// to issue; data may arrive later.
+		case isa.Load:
+			c.issueLoad(e, off, &fu, ready)
+		}
+	}
+	// Stores issue on address availability alone, so they are scheduled
+	// in a second pass that ignores the data operand's readiness.
+	for off := 0; off < c.robCount && fu.issued < c.cfg.Core.IssueWidth; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if e.state != stateDispatched || e.inst.Class != isa.Store {
+			continue
+		}
+		addrReady := c.srcReadyAt(e.inst.Src1, e.src1Phys)
+		if addrReady == never || addrReady > c.cycle {
+			continue
+		}
+		c.issueStore(e, &fu, addrReady)
+	}
+}
+
+// start transitions an entry to issued with the given completion time and
+// releases its issue-queue slot.
+func (c *Core) start(e *robEntry, fu *fuState, doneAt uint64) {
+	e.state = stateIssued
+	e.doneAt = doneAt
+	c.setDestReady(e, doneAt)
+	fu.issued++
+	switch {
+	case e.inst.Class == isa.Load || e.inst.Class == isa.Store:
+		// Load/store queue slots are held until commit.
+	case e.inst.Class.IsFPOp():
+		c.fpQCount--
+	default:
+		c.intQCount--
+	}
+}
+
+// agenDoneAt is the cycle a memory operation's effective address is
+// available: one AGen latency after its operands are ready (or after
+// dispatch, for operand-free addresses).
+func agenDoneAt(e *robEntry, opsReady uint64, agen int) uint64 {
+	base := opsReady
+	if e.dispatchedAt > base {
+		base = e.dispatchedAt
+	}
+	return base + uint64(agen)
+}
+
+// issueStore performs the store's address generation as soon as the
+// address operand is available — the data operand may still be in flight.
+// The store completes (becomes committable) only when its data is also
+// ready; complete() finalises that. The cache write itself happens after
+// commit, through the store buffer.
+func (c *Core) issueStore(e *robEntry, fu *fuState, addrOpReady uint64) {
+	if fu.memOps >= c.cfg.Core.MemIssuePerCycle {
+		return
+	}
+	if agenDoneAt(e, addrOpReady, c.cfg.Lat.AGen) > c.cycle {
+		return // address generation still in flight
+	}
+	fu.memOps++
+	fu.issued++
+	e.addrReadyAt = c.cycle
+	e.state = stateIssued
+	e.doneAt = c.storeDoneAt(e)
+	if c.cfg.Core.SpeculativeLoads {
+		c.checkMemOrder(e)
+	}
+}
+
+// storeDoneAt computes when an address-issued store's data is available:
+// one cycle after AGEN, or when the data operand arrives, whichever is
+// later. Returns never while the data producer is unscheduled.
+func (c *Core) storeDoneAt(e *robEntry) uint64 {
+	dataReady := c.srcReadyAt(e.inst.Src2, e.src2Phys)
+	if dataReady == never {
+		return never
+	}
+	done := e.addrReadyAt + 1
+	if dataReady+1 > done {
+		done = dataReady + 1
+	}
+	return done
+}
+
+// checkMemOrder runs when a store's address resolves under memory-
+// dependence speculation: any younger load that already issued with an
+// overlapping address consumed stale data and squashes the pipeline. The
+// trace-driven model charges the squash as a fetch bubble (the refetched
+// path is identical, so only the timing cost matters).
+func (c *Core) checkMemOrder(store *robEntry) {
+	b, st := store.inst.Addr, uint64(store.inst.Size)
+	for off := 0; off < c.robCount; off++ {
+		e := &c.rob[c.robIndex(off)]
+		if e.seq <= store.seq || e.inst.Class != isa.Load || e.state == stateDispatched {
+			continue
+		}
+		a, sz := e.inst.Addr, uint64(e.inst.Size)
+		if a < b+st && b < a+sz {
+			c.memViolations++
+			stallUntil := c.cycle + uint64(c.cfg.Core.ViolationPenalty)
+			if stallUntil > c.fetchBlockedTil {
+				c.fetchBlockedTil = stallUntil
+			}
+			// The load's data is refetched from the store: delay its
+			// completion past the store's.
+			if redo := c.cycle + 1; e.doneAt < redo {
+				e.doneAt = redo
+				e.state = stateIssued
+				c.setDestReady(e, redo)
+			}
+			return
+		}
+	}
+}
+
+// issueLoad tries to start a load: address generated, older store addresses
+// known, store-to-load forwarding or a memory-port access.
+func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
+	if fu.memOps >= c.cfg.Core.MemIssuePerCycle {
+		return
+	}
+	if agenDoneAt(e, opsReady, c.cfg.Lat.AGen) > c.cycle {
+		return
+	}
+	in := &e.inst
+	// Memory disambiguation. Conservative (R10000-style) by default:
+	// every older store must have a known address before the load may
+	// proceed. With SpeculativeLoads, unknown-address stores are assumed
+	// non-conflicting; issueStore detects violations when they resolve.
+	var cover *robEntry // youngest older store fully covering the load
+	for prev := off - 1; prev >= 0; prev-- {
+		s := &c.rob[c.robIndex(prev)]
+		if s.inst.Class != isa.Store {
+			continue
+		}
+		if s.state == stateDispatched {
+			if c.cfg.Core.SpeculativeLoads {
+				continue // speculate past the unresolved store
+			}
+			return // address unknown: stall
+		}
+		a, sz := in.Addr, uint64(in.Size)
+		b, st := s.inst.Addr, uint64(s.inst.Size)
+		if a < b+st && b < a+sz { // overlap
+			if b <= a && a+sz <= b+st {
+				cover = s
+				break
+			}
+			return // partial overlap: wait for the store to commit
+		}
+	}
+	if cover != nil {
+		// Store-to-load forwarding inside the LSQ: data comes from the
+		// store queue one cycle later; no cache port involved.
+		if cover.doneAt > c.cycle {
+			return // store data not yet available
+		}
+		fu.memOps++
+		c.start(e, fu, c.cycle+1)
+		c.lsqForwards++
+		return
+	}
+	r := c.port.TryLoad(c.cycle, in.Addr, int(in.Size))
+	if !r.Accepted {
+		return // port busy, MSHRs full, or store-buffer conflict: retry
+	}
+	fu.memOps++
+	c.start(e, fu, r.Ready)
+}

@@ -1,0 +1,113 @@
+// Package experiments implements the paper's evaluation: one function per
+// reconstructed table or figure (see DESIGN.md's experiment index). Each
+// experiment builds machine variants, runs every workload through the
+// simulator, and renders a paper-style plain-text table plus typed rows for
+// programmatic checks. cmd/portbench and the repository benchmarks are thin
+// wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"portsim/internal/config"
+	"portsim/internal/cpu"
+	"portsim/internal/stats"
+	"portsim/internal/trace"
+	"portsim/internal/workload"
+)
+
+// Spec sets the scale of an experiment run.
+type Spec struct {
+	// Workloads are the profile names to evaluate.
+	Workloads []string
+	// Insts is the committed-instruction budget per simulation.
+	Insts uint64
+	// Seed feeds every workload generator.
+	Seed int64
+}
+
+// DefaultSpec runs every workload at full length, the configuration behind
+// EXPERIMENTS.md.
+func DefaultSpec() Spec {
+	return Spec{Workloads: workload.Names(), Insts: 300_000, Seed: 42}
+}
+
+// QuickSpec is a reduced configuration for tests and -short benchmarks.
+func QuickSpec() Spec {
+	return Spec{Workloads: []string{"compress", "eqntott", "database"}, Insts: 40_000, Seed: 42}
+}
+
+// Runner executes simulations and memoises results, since several
+// experiments share machine configurations.
+type Runner struct {
+	spec  Spec
+	cache map[string]*cpu.Result
+}
+
+// NewRunner returns a runner for the spec.
+func NewRunner(spec Spec) *Runner {
+	return &Runner{spec: spec, cache: make(map[string]*cpu.Result)}
+}
+
+// Spec returns the runner's spec.
+func (r *Runner) Spec() Spec { return r.spec }
+
+// Run simulates one workload on one machine, reusing a previous result for
+// the identical configuration.
+func (r *Runner) Run(m config.Machine, workloadName string) (*cpu.Result, error) {
+	cfgJSON, err := m.ToJSON()
+	if err != nil {
+		return nil, err
+	}
+	key := workloadName + "\x00" + string(cfgJSON)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	prof, ok := workload.ByName(workloadName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", workloadName)
+	}
+	res, err := r.runProfile(m, prof)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// runProfile simulates an explicit profile (used by the kernel-intensity
+// sweep, which mutates profiles); results are not memoised.
+func (r *Runner) runProfile(m config.Machine, prof workload.Profile) (*cpu.Result, error) {
+	gen, err := workload.New(prof, r.spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return r.runStream(m, gen, prof.Name)
+}
+
+// runStream simulates an arbitrary stream (not memoised).
+func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (*cpu.Result, error) {
+	c, err := cpu.New(&m, stream)
+	if err != nil {
+		return nil, err
+	}
+	// The deadline is a deadlock guard: no sane run needs 400 cycles per
+	// instruction.
+	res, err := c.Run(cpu.Options{
+		MaxInstructions: r.spec.Insts,
+		DeadlineCycles:  400 * r.spec.Insts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err)
+	}
+	return res, nil
+}
+
+// geoMeanIPC computes the geometric-mean IPC over per-workload results.
+func geoMeanIPC(results []*cpu.Result) float64 {
+	ipcs := make([]float64, len(results))
+	for i, r := range results {
+		ipcs[i] = r.IPC
+	}
+	return stats.GeoMean(ipcs)
+}

@@ -1,0 +1,100 @@
+package flatmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	b := []byte{1, 2, 3}
+	m.ReadAt(0x123456, b)
+	if !bytes.Equal(b, []byte{0, 0, 0}) {
+		t.Errorf("untouched memory read %v, want zeros", b)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := New()
+	m.WriteAt(0x1000, []byte{1, 2, 3, 4})
+	got := make([]byte, 4)
+	m.ReadAt(0x1000, got)
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := New()
+	m.WriteAt(8, []byte{1, 1, 1, 1})
+	m.WriteAt(9, []byte{7, 7})
+	got := make([]byte, 4)
+	m.ReadAt(8, got)
+	if !bytes.Equal(got, []byte{1, 7, 7, 1}) {
+		t.Errorf("overwrite = %v, want [1 7 7 1]", got)
+	}
+}
+
+func TestCrossesPages(t *testing.T) {
+	m := New()
+	addr := uint64(PageBytes) - 2 // straddles page 0 / page 1
+	m.WriteAt(addr, []byte{9, 8, 7, 6})
+	got := make([]byte, 4)
+	m.ReadAt(addr, got)
+	if !bytes.Equal(got, []byte{9, 8, 7, 6}) {
+		t.Errorf("page-crossing round trip = %v", got)
+	}
+	b := make([]byte, 1)
+	m.ReadAt(addr+100, b)
+	if b[0] != 0 {
+		t.Error("unwritten byte on touched page not zero")
+	}
+}
+
+func TestSpanLongerThanPage(t *testing.T) {
+	m := New()
+	big := make([]byte, 3*PageBytes)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	m.WriteAt(100, big)
+	got := make([]byte, len(big))
+	m.ReadAt(100, got)
+	if !bytes.Equal(got, big) {
+		t.Error("multi-page span corrupted")
+	}
+}
+
+// TestMatchesMap property: Mem behaves as a byte map for arbitrary write
+// sequences.
+func TestMatchesMap(t *testing.T) {
+	type op struct {
+		Addr uint32
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		m := New()
+		ref := map[uint64]byte{}
+		for _, o := range ops {
+			if len(o.Data) == 0 || len(o.Data) > 100 {
+				continue
+			}
+			m.WriteAt(uint64(o.Addr), o.Data)
+			for i, b := range o.Data {
+				ref[uint64(o.Addr)+uint64(i)] = b
+			}
+		}
+		for a, want := range ref {
+			got := make([]byte, 1)
+			m.ReadAt(a, got)
+			if got[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIsFP(t *testing.T) {
+	if RegZero.IsFP() {
+		t.Error("zero register classified as FP")
+	}
+	if Reg(31).IsFP() {
+		t.Error("r31 classified as FP")
+	}
+	if !FPBase.IsFP() {
+		t.Error("FPBase not classified as FP")
+	}
+	if !Reg(63).IsFP() {
+		t.Error("r63 not classified as FP")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		Nop:     "nop",
+		IntALU:  "int-alu",
+		IntDiv:  "int-div",
+		FPMul:   "fp-mul",
+		Load:    "load",
+		Store:   "store",
+		Branch:  "branch",
+		Syscall: "syscall",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range class string %q does not mention the value", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for c := Class(0); int(c) < NumClasses; c++ {
+		wantMem := c == Load || c == Store
+		if got := c.IsMem(); got != wantMem {
+			t.Errorf("%v.IsMem() = %v, want %v", c, got, wantMem)
+		}
+		wantCtrl := c == Branch || c == Jump || c == Call || c == Return || c == Syscall
+		if got := c.IsCtrl(); got != wantCtrl {
+			t.Errorf("%v.IsCtrl() = %v, want %v", c, got, wantCtrl)
+		}
+		wantUncond := wantCtrl && c != Branch
+		if got := c.IsUncond(); got != wantUncond {
+			t.Errorf("%v.IsUncond() = %v, want %v", c, got, wantUncond)
+		}
+		wantFP := c == FPAdd || c == FPMul || c == FPDiv
+		if got := c.IsFPOp(); got != wantFP {
+			t.Errorf("%v.IsFPOp() = %v, want %v", c, got, wantFP)
+		}
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Inst
+		want uint64
+	}{
+		{"alu falls through", Inst{PC: 0x1000, Class: IntALU}, 0x1004},
+		{"not-taken branch falls through", Inst{PC: 0x1000, Class: Branch, Target: 0x2000, Taken: false}, 0x1004},
+		{"taken branch targets", Inst{PC: 0x1000, Class: Branch, Target: 0x2000, Taken: true}, 0x2000},
+		{"jump always targets", Inst{PC: 0x1000, Class: Jump, Target: 0x3000}, 0x3000},
+		{"call always targets", Inst{PC: 0x1000, Class: Call, Target: 0x3000}, 0x3000},
+		{"return always targets", Inst{PC: 0x1000, Class: Return, Target: 0x3000}, 0x3000},
+		{"syscall always targets", Inst{PC: 0x1000, Class: Syscall, Target: 0xffff0000}, 0xffff0000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.in.NextPC(); got != tt.want {
+				t.Errorf("NextPC() = %#x, want %#x", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRedirects(t *testing.T) {
+	if (&Inst{Class: Branch, Taken: false}).Redirects() {
+		t.Error("not-taken branch reported as redirecting")
+	}
+	if !(&Inst{Class: Branch, Taken: true}).Redirects() {
+		t.Error("taken branch reported as not redirecting")
+	}
+	if !(&Inst{Class: Return}).Redirects() {
+		t.Error("return reported as not redirecting")
+	}
+	if (&Inst{Class: Load}).Redirects() {
+		t.Error("load reported as redirecting")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []Inst{
+		{PC: 4, Class: IntALU, Dest: 3, Src1: 1, Src2: 2},
+		{PC: 4, Class: Load, Dest: 5, Src1: 1, Addr: 0x1000, Size: 8},
+		{PC: 4, Class: Store, Src1: 1, Src2: 5, Addr: 0x1002, Size: 2},
+		{PC: 4, Class: Branch, Target: 0x40, Taken: true},
+		{PC: 4, Class: Nop},
+	}
+	for i, in := range valid {
+		if err := in.Validate(); err != nil {
+			t.Errorf("valid inst %d rejected: %v", i, err)
+		}
+	}
+	invalid := []Inst{
+		{PC: 4, Class: Class(99)},
+		{PC: 4, Class: IntALU, Dest: 64},
+		{PC: 4, Class: IntALU, Src1: 200},
+		{PC: 4, Class: Load, Dest: 5, Addr: 0x1000, Size: 3},
+		{PC: 4, Class: Load, Dest: 5, Addr: 0x1001, Size: 8},
+		{PC: 4, Class: Load, Dest: RegZero, Addr: 0x1000, Size: 8},
+		{PC: 4, Class: Store, Addr: 0x1000, Size: 0},
+	}
+	for i, in := range invalid {
+		if err := in.Validate(); err == nil {
+			t.Errorf("invalid inst %d accepted: %+v", i, in)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	mem := Inst{PC: 0x400, Class: Load, Dest: 4, Src1: 2, Addr: 0x8000, Size: 8}
+	if s := mem.String(); !strings.Contains(s, "load") || !strings.Contains(s, "0x8000") {
+		t.Errorf("memory string %q missing class or address", s)
+	}
+	br := Inst{PC: 0x400, Class: Branch, Target: 0x500, Taken: true, Kernel: true}
+	if s := br.String(); !strings.Contains(s, "[k]") || !strings.Contains(s, "(t)") {
+		t.Errorf("branch string %q missing kernel mode or outcome", s)
+	}
+	alu := Inst{PC: 0x400, Class: IntALU, Dest: 1, Src1: 2, Src2: 3}
+	if s := alu.String(); !strings.Contains(s, "int-alu") {
+		t.Errorf("alu string %q missing class", s)
+	}
+}
+
+// TestNextPCConsistency checks, property-style, that NextPC always agrees
+// with Redirects: a redirecting instruction lands on Target, anything else on
+// the fall-through.
+func TestNextPCConsistency(t *testing.T) {
+	f := func(pc, target uint64, class uint8, taken bool) bool {
+		in := Inst{PC: pc, Target: target, Class: Class(class % uint8(NumClasses)), Taken: taken}
+		if in.Redirects() {
+			return in.NextPC() == target
+		}
+		return in.NextPC() == pc+4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

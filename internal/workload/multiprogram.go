@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"portsim/internal/isa"
+)
+
+// KernelCodeBase is the lowest kernel address; everything below it belongs
+// to user space. Exported for consumers that must distinguish the shared
+// kernel from per-process user ranges (the multiprogramming wrapper, trace
+// analytics).
+const KernelCodeBase uint64 = kernelCodeBase
+
+// processStride separates the address spaces of multiprogrammed processes.
+// 8 GB apart: far beyond any single profile's footprint, so processes never
+// alias in caches or TLBs.
+const processStride uint64 = 1 << 33
+
+// Multiprogram interleaves N independent instances of a profile, switching
+// between them on an exponentially distributed quantum — the
+// multiprogrammed behaviour of the paper's pmake-style workloads, where
+// context switches cold-start the caches and TLBs.
+//
+// Each process runs the same profile with its own seed and an address-space
+// offset applied to all user-mode PCs, data addresses and control targets;
+// the kernel (code and data) is shared, as in a real OS. A context switch
+// is marked by an injected serialising syscall, so the stream is NOT a
+// single coherent control-flow walk across switch boundaries — exactly like
+// a trace that includes interrupts.
+type Multiprogram struct {
+	procs   []*Generator
+	offsets []uint64
+	rng     *rand.Rand
+
+	current     int
+	quantumMean int
+	left        int
+
+	// switchPending injects the context-switch marker before the next
+	// process's first instruction.
+	switchPending bool
+	emitted       uint64
+	switches      uint64
+}
+
+// NewMultiprogram builds a multiprogrammed stream of `processes` instances
+// of prof, switching every quantumMean instructions on average.
+func NewMultiprogram(prof Profile, processes, quantumMean int, seed int64) (*Multiprogram, error) {
+	if processes < 1 {
+		return nil, fmt.Errorf("workload: need at least one process")
+	}
+	if quantumMean < 100 {
+		return nil, fmt.Errorf("workload: quantum %d too short to be meaningful", quantumMean)
+	}
+	m := &Multiprogram{
+		rng:         rand.New(rand.NewSource(seed)),
+		quantumMean: quantumMean,
+	}
+	for i := 0; i < processes; i++ {
+		g, err := New(prof, seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		m.procs = append(m.procs, g)
+		m.offsets = append(m.offsets, uint64(i)*processStride)
+	}
+	m.left = m.drawQuantum()
+	return m, nil
+}
+
+func (m *Multiprogram) drawQuantum() int {
+	// Geometric with the configured mean, at least 10 instructions.
+	n := 10
+	for m.rng.Float64() > 1.0/float64(m.quantumMean) {
+		n++
+		if n >= 20*m.quantumMean {
+			break
+		}
+	}
+	return n
+}
+
+// Processes returns the multiprogramming level.
+func (m *Multiprogram) Processes() int { return len(m.procs) }
+
+// Switches returns the number of context switches performed.
+func (m *Multiprogram) Switches() uint64 { return m.switches }
+
+// Next implements trace.Stream.
+func (m *Multiprogram) Next(in *isa.Inst) bool {
+	if m.switchPending {
+		// The context-switch marker: a serialising kernel entry at the
+		// outgoing process's last PC. The core drains its pipeline on
+		// it, charging the switch's direct cost; the indirect cost
+		// (cold caches, cold TLB) follows from the address-space jump.
+		m.switchPending = false
+		*in = isa.Inst{
+			PC:     m.lastUserPC(),
+			Class:  isa.Syscall,
+			Target: kernelCodeBase,
+			Kernel: false,
+		}
+		m.emitted++
+		return true
+	}
+	if m.left <= 0 && len(m.procs) > 1 {
+		m.current = (m.current + 1) % len(m.procs)
+		m.left = m.drawQuantum()
+		m.switches++
+		m.switchPending = true
+		return m.Next(in)
+	}
+	g := m.procs[m.current]
+	if !g.Next(in) {
+		return false
+	}
+	m.relocate(in, m.offsets[m.current])
+	m.left--
+	m.emitted++
+	return true
+}
+
+// lastUserPC gives a stable PC in the current process's code range for the
+// injected switch marker.
+func (m *Multiprogram) lastUserPC() uint64 {
+	return userCodeBase + m.offsets[m.current]
+}
+
+// relocate applies the process's address-space offset to user-mode
+// addresses, leaving the shared kernel ranges untouched. Kernel-mode
+// control transfers back into user space (episode exits) are relocated so
+// the process resumes in its own range.
+func (m *Multiprogram) relocate(in *isa.Inst, off uint64) {
+	if off == 0 {
+		return
+	}
+	if !in.Kernel {
+		in.PC += off
+		if in.Class.IsMem() {
+			in.Addr += off
+		}
+		if in.Class.IsCtrl() && in.Class != isa.Syscall {
+			in.Target += off
+		}
+		return
+	}
+	// Kernel mode: code and data are shared, but a return whose target
+	// lies in user space goes back to this process's range.
+	if in.Class.IsCtrl() && in.Target < KernelCodeBase {
+		in.Target += off
+	}
+}
+
+// Emitted returns the total instructions produced.
+func (m *Multiprogram) Emitted() uint64 { return m.emitted }

@@ -1,0 +1,145 @@
+// Package portsim is a cycle-level simulator of a dynamic superscalar
+// microprocessor with a configurable multi-ported first-level data cache,
+// reproducing Wilson, Olukotun & Rosenblum, "Increasing Cache Port
+// Efficiency for Dynamic Superscalar Microprocessors" (ISCA 1996).
+//
+// The package exposes four machine presets (a single-ported baseline, dual-
+// and quad-ported references, and the paper's proposed "best single"
+// configuration: one wide port with a deep combining store buffer and
+// load-all line buffers), seven synthetic workloads modelled on the paper's
+// SimOS applications including operating-system activity, and a Simulation
+// type that runs a workload on a machine and reports IPC plus detailed port
+// and cache statistics.
+//
+// Quick start:
+//
+//	sim, err := portsim.New(portsim.BestSingleConfig(), "compress", 42)
+//	if err != nil { ... }
+//	res, err := sim.Run(500_000)
+//	fmt.Printf("IPC %.3f\n", res.IPC)
+//
+// The full experiment suite behind EXPERIMENTS.md lives in cmd/portbench.
+package portsim
+
+import (
+	"fmt"
+
+	"portsim/internal/config"
+	"portsim/internal/cpu"
+	"portsim/internal/isa"
+	"portsim/internal/trace"
+	"portsim/internal/workload"
+)
+
+// Config is a complete machine configuration. Construct one with a preset
+// (BaselineConfig and friends) and adjust fields, then validate with
+// (*Config).Validate via the underlying type.
+type Config = config.Machine
+
+// PortConfig is the data-cache port arrangement block of a Config — the
+// experimental variables of the paper.
+type PortConfig = config.Ports
+
+// Result summarises a finished simulation: cycles, instructions, IPC, and a
+// counter set with every detailed statistic (port.*, l1d.*, ...).
+type Result = cpu.Result
+
+// Profile describes a synthetic workload; see Workloads for the built-in
+// set modelled on the paper's applications.
+type Profile = workload.Profile
+
+// Instruction is one dynamic instruction record, for callers that drive the
+// simulator with their own streams.
+type Instruction = isa.Inst
+
+// InstructionStream supplies dynamic instructions to a Simulation.
+type InstructionStream = trace.Stream
+
+// BaselineConfig returns the paper's baseline: a single 8-byte cache port
+// with a minimal store buffer and no port-efficiency techniques.
+func BaselineConfig() Config { return config.Baseline() }
+
+// DualPortConfig returns the expensive dual-ported reference machine.
+func DualPortConfig() Config { return config.DualPort() }
+
+// QuadPortConfig returns the idealised four-ported machine.
+func QuadPortConfig() Config { return config.QuadPort() }
+
+// BestSingleConfig returns the paper's proposal: one 32-byte port, a
+// 16-entry combining store buffer and four load-all line buffers.
+func BestSingleConfig() Config { return config.BestSingle() }
+
+// ConfigNames lists the preset names accepted by ConfigByName.
+func ConfigNames() []string { return config.PresetNames() }
+
+// ConfigByName returns a preset machine configuration.
+func ConfigByName(name string) (Config, bool) {
+	ctor, ok := config.Presets[name]
+	if !ok {
+		return Config{}, false
+	}
+	return ctor(), true
+}
+
+// Workloads lists the built-in workload names in the order the paper-style
+// tables use.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadByName returns a built-in workload profile, which callers may
+// modify before passing to NewFromProfile.
+func WorkloadByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// Simulation is one machine plus one instruction stream, ready to run. A
+// Simulation is single-use: create a new one for every run.
+type Simulation struct {
+	core *cpu.Core
+	done bool
+}
+
+// New builds a simulation of the named built-in workload on the given
+// machine.
+func New(cfg Config, workloadName string, seed int64) (*Simulation, error) {
+	prof, ok := workload.ByName(workloadName)
+	if !ok {
+		return nil, fmt.Errorf("portsim: unknown workload %q (have %v)", workloadName, Workloads())
+	}
+	return NewFromProfile(cfg, prof, seed)
+}
+
+// NewFromProfile builds a simulation of an arbitrary (possibly customised)
+// workload profile.
+func NewFromProfile(cfg Config, prof Profile, seed int64) (*Simulation, error) {
+	gen, err := workload.New(prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromStream(cfg, gen)
+}
+
+// NewFromStream builds a simulation over a caller-supplied instruction
+// stream (for replaying captured traces or custom generators).
+func NewFromStream(cfg Config, stream InstructionStream) (*Simulation, error) {
+	core, err := cpu.New(&cfg, stream)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{core: core}, nil
+}
+
+// Run simulates until maxInstructions commit (zero: until the stream ends)
+// and returns the result. The built-in workload generators never end, so a
+// positive bound is required with them.
+func (s *Simulation) Run(maxInstructions uint64) (*Result, error) {
+	if s.done {
+		return nil, fmt.Errorf("portsim: simulation already ran; create a new one")
+	}
+	s.done = true
+	deadline := uint64(0)
+	if maxInstructions > 0 {
+		deadline = 400 * maxInstructions
+	}
+	return s.core.Run(cpu.Options{
+		MaxInstructions: maxInstructions,
+		DeadlineCycles:  deadline,
+	})
+}
