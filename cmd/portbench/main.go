@@ -106,6 +106,13 @@ func run(args []string, out io.Writer) error {
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches -only=%q", *only)
 	}
-	fmt.Fprintf(out, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "total wall time: %s\n", elapsed.Round(time.Millisecond))
+	if secs := elapsed.Seconds(); secs > 0 && runner.SimulatedCycles() > 0 {
+		fmt.Fprintf(out, "simulated %d cycles / %d instructions (%.2f Mcycles/s, %.2f Minsts/s host throughput)\n",
+			runner.SimulatedCycles(), runner.SimulatedInstructions(),
+			float64(runner.SimulatedCycles())/secs/1e6,
+			float64(runner.SimulatedInstructions())/secs/1e6)
+	}
 	return nil
 }

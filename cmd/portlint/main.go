@@ -1,0 +1,87 @@
+// Command portlint runs the repository's custom static-analysis suite (see
+// internal/lint and the README's "Static analysis & determinism guarantees"
+// section) over the given package patterns and reports findings in the
+// usual file:line:col format. It exits non-zero when any finding survives
+// suppression, so CI can gate on it.
+//
+// Usage:
+//
+//	go run ./cmd/portlint ./...          # lint the whole module
+//	go run ./cmd/portlint -list         # describe the analyzers
+//	go run ./cmd/portlint -counters ./... # dump the written counter names
+//
+// Suppress a finding by appending a justification-bearing directive to the
+// flagged line (or the line above):
+//
+//	offset := addr - chunk //portlint:ignore cyclemath chunk is addr masked down
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"portsim/internal/lint"
+	"portsim/internal/lint/counterhygiene"
+	"portsim/internal/lint/loader"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "portlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the tool; split from main for testability. It returns the
+// process exit code: 0 clean, 1 findings.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("portlint", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "describe the analyzers and exit")
+		counters = fs.Bool("counters", false, "dump every counter name written by the matched packages (for regenerating internal/stats/names.go)")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0, nil
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *counters {
+		pkgs, err := loader.Load(".", patterns...)
+		if err != nil {
+			return 2, err
+		}
+		for _, name := range counterhygiene.WrittenNames(pkgs) {
+			fmt.Fprintln(out, name)
+		}
+		return 0, nil
+	}
+
+	findings, err := lint.Run(".", patterns)
+	if err != nil {
+		return 2, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "portlint: %d finding(s)\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}

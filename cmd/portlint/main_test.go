@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v", code, err)
+	}
+	for _, name := range []string{"configbounds", "counterhygiene", "cyclemath", "detrand", "floatcmp"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"./..."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("linting cmd/portlint itself: exit %d\n%s", code, out.String())
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"../../internal/lint/detrand/testdata/src/a"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("linting a fixture with planted violations: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("missing findings summary:\n%s", out.String())
+	}
+}

@@ -107,7 +107,7 @@ func (f *Functional) Read(addr uint64, p []byte) error {
 		return err
 	}
 	d := f.ensure(addr, false)
-	off := addr - f.level.LineAddr(addr)
+	off := addr - f.level.LineAddr(addr) //portlint:ignore cyclemath line base is addr with low bits masked off
 	copy(p, d[off:off+uint64(len(p))])
 	return nil
 }
@@ -119,7 +119,7 @@ func (f *Functional) Write(addr uint64, p []byte) error {
 		return err
 	}
 	d := f.ensure(addr, true)
-	off := addr - f.level.LineAddr(addr)
+	off := addr - f.level.LineAddr(addr) //portlint:ignore cyclemath line base is addr with low bits masked off
 	copy(d[off:off+uint64(len(p))], p)
 	return nil
 }

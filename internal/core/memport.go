@@ -495,29 +495,29 @@ func (p *MemPort) DrainAll(now uint64) uint64 {
 // Report writes the port subsystem's statistics into a stats.Set under the
 // "port." prefix.
 func (p *MemPort) Report(s *stats.Set) {
-	s.Add("port.cycles", p.cycles)
-	s.Add("port.grants", p.busyGrants)
-	s.Add("port.load_accesses", p.loadPortAccesses)
-	s.Add("port.store_accesses", p.storePortAccesses)
-	s.Add("port.loads_from_cache", p.loadsBySource[SourceCache])
-	s.Add("port.loads_from_line_buffer", p.loadsBySource[SourceLineBuffer])
-	s.Add("port.loads_from_store_buffer", p.loadsBySource[SourceStoreBuffer])
-	s.Add("port.reject_port_busy", p.rejects[RejectPortBusy])
-	s.Add("port.reject_mshr", p.rejects[RejectMSHR])
-	s.Add("port.reject_store_conflict", p.rejects[RejectStoreConflict])
-	s.Add("port.reject_bank_conflict", p.rejects[RejectBankConflict])
-	s.Add("port.sb_inserts", p.sb.Inserts())
-	s.Add("port.sb_combined", p.sb.Combined())
-	s.Add("port.sb_drains", p.sb.Drains())
-	s.Add("port.sb_forwards", p.sb.Forwards())
-	s.Add("port.lb_hits", p.lbs.Hits())
-	s.Add("port.lb_fills", p.lbs.Fills())
-	s.Add("port.lb_invalidations", p.lbs.Invalidations())
-	s.Add("port.refill_cycles", p.refillCycles)
-	s.Add("port.prefetches", p.prefetches)
-	s.Add("port.useful_prefetches", p.usefulPrefetch)
+	s.Add(stats.PortCycles, p.cycles)
+	s.Add(stats.PortGrants, p.busyGrants)
+	s.Add(stats.PortLoadAccesses, p.loadPortAccesses)
+	s.Add(stats.PortStoreAccesses, p.storePortAccesses)
+	s.Add(stats.PortLoadsFromCache, p.loadsBySource[SourceCache])
+	s.Add(stats.PortLoadsFromLineBuffer, p.loadsBySource[SourceLineBuffer])
+	s.Add(stats.PortLoadsFromStoreBuffer, p.loadsBySource[SourceStoreBuffer])
+	s.Add(stats.PortRejectPortBusy, p.rejects[RejectPortBusy])
+	s.Add(stats.PortRejectMSHR, p.rejects[RejectMSHR])
+	s.Add(stats.PortRejectStoreConflict, p.rejects[RejectStoreConflict])
+	s.Add(stats.PortRejectBankConflict, p.rejects[RejectBankConflict])
+	s.Add(stats.PortSBInserts, p.sb.Inserts())
+	s.Add(stats.PortSBCombined, p.sb.Combined())
+	s.Add(stats.PortSBDrains, p.sb.Drains())
+	s.Add(stats.PortSBForwards, p.sb.Forwards())
+	s.Add(stats.PortLBHits, p.lbs.Hits())
+	s.Add(stats.PortLBFills, p.lbs.Fills())
+	s.Add(stats.PortLBInvalidations, p.lbs.Invalidations())
+	s.Add(stats.PortRefillCycles, p.refillCycles)
+	s.Add(stats.PortPrefetches, p.prefetches)
+	s.Add(stats.PortUsefulPrefetches, p.usefulPrefetch)
 	for v := 0; v <= maxConcurrency(p.cfg); v++ {
-		s.Add(fmt.Sprintf("port.cycles_with_%d_grants", v), p.grantHist.Bucket(uint64(v)))
+		s.Add(stats.GrantBucket(v), p.grantHist.Bucket(uint64(v)))
 	}
 }
 

@@ -97,7 +97,7 @@ func (b *StoreBuffer) Insert(now, addr uint64, size int, data []byte) (combined 
 		panic("core: data length disagrees with store size")
 	}
 	chunk := b.ChunkAddr(addr)
-	offset := addr - chunk
+	offset := addr - chunk //portlint:ignore cyclemath chunk is addr with low bits masked off, so chunk <= addr
 	mask := maskFor(offset, size)
 	b.inserts++
 	if b.combining {
@@ -144,7 +144,7 @@ func (b *StoreBuffer) Insert(now, addr uint64, size int, data []byte) (combined 
 // hold the newer bytes.
 func (b *StoreBuffer) Probe(addr uint64, size int) (forward, conflict bool) {
 	chunk := b.ChunkAddr(addr)
-	offset := addr - chunk
+	offset := addr - chunk //portlint:ignore cyclemath chunk is addr with low bits masked off, so chunk <= addr
 	mask := maskFor(offset, size)
 	// Scan youngest-first so the newest matching entry decides.
 	for i := len(b.entries) - 1; i >= 0; i-- {
@@ -168,7 +168,7 @@ func (b *StoreBuffer) Probe(addr uint64, size int) (forward, conflict bool) {
 // exists (the caller raced a drain — a bug Probe/Drain sequencing prevents).
 func (b *StoreBuffer) ReadForward(addr uint64, p []byte) bool {
 	chunk := b.ChunkAddr(addr)
-	offset := addr - chunk
+	offset := addr - chunk //portlint:ignore cyclemath chunk is addr with low bits masked off, so chunk <= addr
 	mask := maskFor(offset, len(p))
 	for i := len(b.entries) - 1; i >= 0; i-- {
 		e := &b.entries[i]

@@ -273,37 +273,37 @@ func (c *Core) step() {
 // result assembles the Result from the counters.
 func (c *Core) result() *Result {
 	s := stats.NewSet()
-	s.Add("cycles", c.cycle)
-	s.Add("instructions", c.committed)
-	s.Add("insts.user", c.userInsts)
-	s.Add("insts.kernel", c.kernelInsts)
-	s.Add("loads", c.loads)
-	s.Add("stores", c.stores)
-	s.Add("branches", c.branches)
-	s.Add("mispredicts", c.mispredicts)
-	s.Add("stall.fetch_cycles", c.fetchStallCycles)
-	s.Add("stall.rob_full_cycles", c.robFullCycles)
-	s.Add("stall.commit_store_buffer", c.commitStallSB)
-	s.Add("lsq.forwards", c.lsqForwards)
-	s.Add("lsq.violations", c.memViolations)
+	s.Add(stats.Cycles, c.cycle)
+	s.Add(stats.Instructions, c.committed)
+	s.Add(stats.InstsUser, c.userInsts)
+	s.Add(stats.InstsKernel, c.kernelInsts)
+	s.Add(stats.Loads, c.loads)
+	s.Add(stats.Stores, c.stores)
+	s.Add(stats.Branches, c.branches)
+	s.Add(stats.Mispredicts, c.mispredicts)
+	s.Add(stats.StallFetchCycles, c.fetchStallCycles)
+	s.Add(stats.StallROBFullCycles, c.robFullCycles)
+	s.Add(stats.StallCommitStoreBuffer, c.commitStallSB)
+	s.Add(stats.LSQForwards, c.lsqForwards)
+	s.Add(stats.LSQViolations, c.memViolations)
 	for cls := 0; cls < isa.NumClasses; cls++ {
 		if c.classCount[cls] > 0 {
-			s.Add("class."+isa.Class(cls).String(), c.classCount[cls])
+			s.Add(stats.ClassCounter(isa.Class(cls).String()), c.classCount[cls])
 		}
 	}
-	s.Add("l1d.hits", c.sys.L1D.Hits())
-	s.Add("l1d.misses", c.sys.L1D.Misses())
-	s.Add("l1d.writebacks", c.sys.L1D.Writebacks())
-	s.Add("fetch.wrong_path_lines", c.wrongPathLines)
-	s.Add("l1i.hits", c.sys.L1I.Hits())
-	s.Add("l1i.misses", c.sys.L1I.Misses())
-	s.Add("l2.hits", c.sys.L2.Hits())
-	s.Add("l2.misses", c.sys.L2.Misses())
-	s.Add("dram.accesses", c.sys.DRAMAccesses())
-	s.Add("itlb.hits", c.sys.ITLB.Hits())
-	s.Add("itlb.misses", c.sys.ITLB.Misses())
-	s.Add("dtlb.hits", c.sys.DTLB.Hits())
-	s.Add("dtlb.misses", c.sys.DTLB.Misses())
+	s.Add(stats.L1DHits, c.sys.L1D.Hits())
+	s.Add(stats.L1DMisses, c.sys.L1D.Misses())
+	s.Add(stats.L1DWritebacks, c.sys.L1D.Writebacks())
+	s.Add(stats.FetchWrongPathLines, c.wrongPathLines)
+	s.Add(stats.L1IHits, c.sys.L1I.Hits())
+	s.Add(stats.L1IMisses, c.sys.L1I.Misses())
+	s.Add(stats.L2Hits, c.sys.L2.Hits())
+	s.Add(stats.L2Misses, c.sys.L2.Misses())
+	s.Add(stats.DRAMAccesses, c.sys.DRAMAccesses())
+	s.Add(stats.ITLBHits, c.sys.ITLB.Hits())
+	s.Add(stats.ITLBMisses, c.sys.ITLB.Misses())
+	s.Add(stats.DTLBHits, c.sys.DTLB.Hits())
+	s.Add(stats.DTLBMisses, c.sys.DTLB.Misses())
 	c.port.Report(s)
 	ipc := 0.0
 	if c.cycle > 0 {

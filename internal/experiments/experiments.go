@@ -70,7 +70,7 @@ func T2Characterisation(r *Runner) ([]T2Row, *stats.Table, error) {
 			StoreFrac:     float64(res.Stores) / n,
 			BranchFrac:    float64(res.Branches) / n,
 			KernelFrac:    float64(res.KernelInsts) / n,
-			L1DMissRate:   float64(s.Get("l1d.misses")) / float64(s.Get("l1d.misses")+s.Get("l1d.hits")),
+			L1DMissRate:   float64(s.Get(stats.L1DMisses)) / float64(s.Get(stats.L1DMisses)+s.Get(stats.L1DHits)),
 			MispredictPct: float64(res.Mispredicts) / float64(res.Branches),
 			BaselineIPC:   res.IPC,
 		}
@@ -238,7 +238,7 @@ func F4LineBuffers(r *Runner) ([]F4Row, *stats.Table, error) {
 				return nil, nil, err
 			}
 			s := res.Counters
-			served := s.Get("port.loads_from_line_buffer")
+			served := s.Get(stats.PortLoadsFromLineBuffer)
 			row.IPC[n] = res.IPC
 			row.HitRate[n] = float64(served) / float64(res.Loads)
 			cells = append(cells, stats.Cell(res.IPC), stats.Percent(row.HitRate[n]))
@@ -281,8 +281,8 @@ func F5StoreCombining(r *Runner) ([]F5Row, *stats.Table, error) {
 				if comb {
 					row.IPCOn[d] = res.IPC
 					s := res.Counters
-					if drains := s.Get("port.sb_drains"); drains > 0 {
-						row.StoresPerDrain[d] = float64(s.Get("port.sb_inserts")) / float64(drains)
+					if drains := s.Get(stats.PortSBDrains); drains > 0 {
+						row.StoresPerDrain[d] = float64(s.Get(stats.PortSBInserts)) / float64(drains)
 					}
 				} else {
 					row.IPCOff[d] = res.IPC
@@ -364,17 +364,17 @@ func T3PortUtilisation(r *Runner) ([]T3Row, *stats.Table, error) {
 		}
 		s := res.Counters
 		loads := float64(res.Loads)
-		grants := float64(s.Get("port.grants"))
+		grants := float64(s.Get(stats.PortGrants))
 		row := T3Row{
 			Workload:        w,
-			LoadsFromCache:  float64(s.Get("port.loads_from_cache")) / loads,
-			LoadsFromLB:     float64(s.Get("port.loads_from_line_buffer")) / loads,
-			LoadsFromSB:     float64(s.Get("port.loads_from_store_buffer")) / loads,
-			PortUtilisation: grants / float64(s.Get("port.cycles")),
-			RefillShare:     float64(s.Get("port.refill_cycles")) / grants,
+			LoadsFromCache:  float64(s.Get(stats.PortLoadsFromCache)) / loads,
+			LoadsFromLB:     float64(s.Get(stats.PortLoadsFromLineBuffer)) / loads,
+			LoadsFromSB:     float64(s.Get(stats.PortLoadsFromStoreBuffer)) / loads,
+			PortUtilisation: grants / float64(s.Get(stats.PortCycles)),
+			RefillShare:     float64(s.Get(stats.PortRefillCycles)) / grants,
 		}
-		if drains := s.Get("port.sb_drains"); drains > 0 {
-			row.StoresPerDrain = float64(s.Get("port.sb_inserts")) / float64(drains)
+		if drains := s.Get(stats.PortSBDrains); drains > 0 {
+			row.StoresPerDrain = float64(s.Get(stats.PortSBInserts)) / float64(drains)
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Percent(row.LoadsFromCache), stats.Percent(row.LoadsFromLB),
@@ -622,8 +622,8 @@ func A3Prefetch(r *Runner) ([]A3Row, *stats.Table, error) {
 		}
 		s := withPf.Counters
 		row := A3Row{Workload: w, BaseIPC: base.IPC, PfIPC: withPf.IPC, BestPfIPC: best.IPC}
-		if issued := s.Get("port.prefetches"); issued > 0 {
-			row.Accuracy = float64(s.Get("port.useful_prefetches")) / float64(issued)
+		if issued := s.Get(stats.PortPrefetches); issued > 0 {
+			row.Accuracy = float64(s.Get(stats.PortUsefulPrefetches)) / float64(issued)
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.BaseIPC), stats.Cell(row.PfIPC), stats.Cell(row.BestPfIPC),
@@ -666,7 +666,7 @@ func A4MemSpeculation(r *Runner) ([]A4Row, *stats.Table, error) {
 			Workload:        w,
 			Conservative:    cons.IPC,
 			Speculative:     sp.IPC,
-			ViolationsPerKI: 1000 * float64(sp.Counters.Get("lsq.violations")) / float64(sp.Instructions),
+			ViolationsPerKI: 1000 * float64(sp.Counters.Get(stats.LSQViolations)) / float64(sp.Instructions),
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.Conservative), stats.Cell(row.Speculative),
@@ -724,8 +724,8 @@ func A5WritePolicy(r *Runner) ([]A5Row, *stats.Table, error) {
 			WBPlain:     wb.IPC,
 			WTPlain:     plain.IPC,
 			WTCombining: comb.IPC,
-			WBDRAMPerKI: 1000 * float64(wb.Counters.Get("dram.accesses")) / float64(wb.Instructions),
-			WTDRAMPerKI: 1000 * float64(plain.Counters.Get("dram.accesses")) / float64(plain.Instructions),
+			WBDRAMPerKI: 1000 * float64(wb.Counters.Get(stats.DRAMAccesses)) / float64(wb.Instructions),
+			WTDRAMPerKI: 1000 * float64(plain.Counters.Get(stats.DRAMAccesses)) / float64(plain.Instructions),
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.WBPlain), stats.Cell(row.WTPlain), stats.Cell(row.WTCombining),
@@ -785,8 +785,8 @@ func A6Multiprogramming(r *Runner) ([]A6Row, *stats.Table, error) {
 			SingleIPC:  single.IPC,
 			BestIPC:    best.IPC,
 			DualIPC:    dual.IPC,
-			L1DMiss:    float64(s.Get("l1d.misses")) / float64(s.Get("l1d.misses")+s.Get("l1d.hits")),
-			DTLBMissKI: 1000 * float64(s.Get("dtlb.misses")) / float64(single.Instructions),
+			L1DMiss:    float64(s.Get(stats.L1DMisses)) / float64(s.Get(stats.L1DMisses)+s.Get(stats.L1DHits)),
+			DTLBMissKI: 1000 * float64(s.Get(stats.DTLBMisses)) / float64(single.Instructions),
 		}
 		rows = append(rows, row)
 		t.AddRow(fmt.Sprint(n), stats.Cell(row.SingleIPC), stats.Cell(row.BestIPC),
@@ -856,13 +856,13 @@ func T4GrantDistribution(r *Runner) ([]T4Row, *stats.Table, error) {
 				return nil, nil, err
 			}
 			s := res.Counters
-			cycles := float64(s.Get("port.cycles"))
+			cycles := float64(s.Get(stats.PortCycles))
 			row := T4Row{Machine: m.Name, Workload: w}
 			cells := []string{m.Name, w}
 			for k := 0; k <= 2; k++ {
 				frac := 0.0
 				if k <= maxG {
-					frac = float64(s.Get(fmt.Sprintf("port.cycles_with_%d_grants", k))) / cycles
+					frac = float64(s.Get(stats.GrantBucket(k))) / cycles
 				}
 				row.Frac = append(row.Frac, frac)
 				if k <= maxG {
@@ -913,7 +913,7 @@ func A8WrongPathFetch(r *Runner) ([]A8Row, *stats.Table, error) {
 			Workload:    w,
 			IdealIPC:    ideal.IPC,
 			PollutedIPC: pol.IPC,
-			ExtraL1IPerKI: 1000 * (float64(pol.Counters.Get("l1i.misses")) - float64(ideal.Counters.Get("l1i.misses"))) /
+			ExtraL1IPerKI: 1000 * (float64(pol.Counters.Get(stats.L1IMisses)) - float64(ideal.Counters.Get(stats.L1IMisses))) /
 				float64(pol.Instructions),
 		}
 		rows = append(rows, row)

@@ -42,6 +42,11 @@ func QuickSpec() Spec {
 type Runner struct {
 	spec  Spec
 	cache map[string]*cpu.Result
+	// simCycles and simInsts accumulate over actual simulations only —
+	// memoised cache hits are excluded — so host-throughput reports
+	// (cmd/portbench) divide real simulated work by real wall time.
+	simCycles uint64
+	simInsts  uint64
 }
 
 // NewRunner returns a runner for the spec.
@@ -51,6 +56,14 @@ func NewRunner(spec Spec) *Runner {
 
 // Spec returns the runner's spec.
 func (r *Runner) Spec() Spec { return r.spec }
+
+// SimulatedCycles returns the total simulated cycles across every
+// non-memoised run this runner has executed.
+func (r *Runner) SimulatedCycles() uint64 { return r.simCycles }
+
+// SimulatedInstructions returns the total committed instructions across
+// every non-memoised run this runner has executed.
+func (r *Runner) SimulatedInstructions() uint64 { return r.simInsts }
 
 // Run simulates one workload on one machine, reusing a previous result for
 // the identical configuration.
@@ -100,6 +113,8 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err)
 	}
+	r.simCycles += res.Cycles
+	r.simInsts += res.Instructions
 	return res, nil
 }
 

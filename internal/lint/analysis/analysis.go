@@ -1,0 +1,110 @@
+// Package analysis defines the analyzer API for portlint, the repository's
+// custom static-analysis suite. It deliberately mirrors the core surface of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) so analyzers
+// written against it port to the upstream framework mechanically — the
+// upstream module is not vendored because this repository builds offline
+// with the standard library only.
+//
+// Two extensions cover what the x/tools multichecker expresses through
+// Facts and flags:
+//
+//   - Analyzer.RunModule runs once over every loaded package, for
+//     whole-module invariants such as "every counter name that is read is
+//     also written somewhere" (see the counterhygiene analyzer).
+//
+//   - Suppression comments of the form
+//
+//     //portlint:ignore <analyzer>[,<analyzer>...] [reason]
+//
+//     silence diagnostics on the same line, or on the following line when
+//     the comment stands alone. The driver (internal/lint) applies them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //portlint:ignore directives. It must be a lower-case identifier.
+	Name string
+
+	// Doc is the one-paragraph description shown by `portlint -list`.
+	Doc string
+
+	// Run analyzes a single package. It may report diagnostics via
+	// pass.Report and may return an error for internal failures (which
+	// aborts the whole lint run, unlike a diagnostic).
+	Run func(*Pass) error
+
+	// RunModule, if non-nil, runs once after every per-package pass with
+	// the full set of loaded packages, for cross-package invariants.
+	RunModule func(*ModulePass) error
+}
+
+// Package bundles everything the driver knows about one loaded package.
+type Package struct {
+	// Path is the package's import path as reported by the go tool.
+	Path string
+
+	// Dir is the package's directory on disk.
+	Dir string
+
+	// Files are the parsed non-test Go files. Test files are not
+	// analyzed: every portlint invariant applies to simulator code, and
+	// tests are free to use wall clocks, ad-hoc counter names and
+	// hand-built configs.
+	Files []*ast.File
+
+	// Types is the type-checked package.
+	Types *types.Package
+
+	// TypesInfo carries the type-checker's expression and identifier
+	// resolution for Files.
+	TypesInfo *types.Info
+
+	// Fset translates token positions for Files.
+	Fset *token.FileSet
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a diagnostic against the package under analysis.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ModulePass carries an analyzer's view of the whole loaded module for
+// RunModule hooks.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted module-level diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned at Pos in the shared FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,67 @@
+// Package configbounds implements the portlint analyzer that keeps machine
+// configurations inside the config package's validation envelope. The
+// simulator trusts config.Machine invariants (power-of-two geometries,
+// coherent port arrangements — see Machine.Validate); a struct literal
+// built in a random package bypasses Validate and can put the model into
+// states the paper's design space never defined. Non-test code must obtain
+// configurations from the config package's entrypoints (Baseline, DualPort,
+// Presets, FromJSON, ...) and mutate fields from there before the
+// simulator's constructor re-validates. Empty literals (config.Machine{})
+// are exempt: they are the idiomatic zero value of error returns and carry
+// no field assumptions. Test files are not analyzed, so tests remain free
+// to build adversarial configs.
+package configbounds
+
+import (
+	"go/ast"
+	"go/types"
+
+	"portsim/internal/lint/analysis"
+)
+
+// ConfigPackage is the import path of the validated configuration package.
+// Literal construction of its struct types is confined to the package
+// itself.
+var ConfigPackage = "portsim/internal/config"
+
+// Analyzer is the configbounds analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "configbounds",
+	Doc: "flags struct literals of config types outside the config package, " +
+		"which bypass the package's validation entrypoints",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == ConfigPackage {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || len(lit.Elts) == 0 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			named, ok := types.Unalias(tv.Type).(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != ConfigPackage {
+				return true
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"raw %s.%s literal bypasses the config package's validation; start from a preset (config.Baseline, config.Presets, ...) or config.FromJSON and mutate fields",
+				obj.Pkg().Name(), obj.Name())
+			return true
+		})
+	}
+	return nil
+}

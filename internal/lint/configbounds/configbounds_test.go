@@ -1,0 +1,12 @@
+package configbounds_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/configbounds"
+)
+
+func TestConfigbounds(t *testing.T) {
+	analysistest.Run(t, configbounds.Analyzer, "a")
+}

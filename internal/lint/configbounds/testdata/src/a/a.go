@@ -1,0 +1,23 @@
+// Package a is a configbounds fixture: raw literals of config struct types
+// are flagged, presets, mutation and empty zero-value literals are not.
+package a
+
+import "portsim/internal/config"
+
+func rawLiteral() config.Machine {
+	return config.Machine{Name: "adhoc"} // want `raw config.Machine literal bypasses the config package's validation`
+}
+
+func rawGeom() config.CacheGeom {
+	return config.CacheGeom{SizeBytes: 1024} // want `raw config.CacheGeom literal bypasses the config package's validation`
+}
+
+func fromPreset() config.Machine {
+	m := config.Baseline()
+	m.Ports.Count = 4
+	return m
+}
+
+func zeroValue() (config.Machine, error) {
+	return config.Machine{}, nil
+}

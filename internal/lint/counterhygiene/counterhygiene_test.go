@@ -1,0 +1,31 @@
+package counterhygiene_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/counterhygiene"
+)
+
+func TestCounterhygiene(t *testing.T) {
+	analysistest.Run(t, counterhygiene.Analyzer, "a")
+}
+
+// TestConstOnly checks the canonical-constant requirement imposed on the
+// core simulator packages.
+func TestConstOnly(t *testing.T) {
+	const path = "portsim/internal/lint/counterhygiene/testdata/src/constonly"
+	counterhygiene.ConstOnlyPackages[path] = true
+	defer delete(counterhygiene.ConstOnlyPackages, path)
+	analysistest.Run(t, counterhygiene.Analyzer, "constonly")
+}
+
+// TestNamesFileAudit points StatsPackage at the fakestats fixture so the
+// names.go dead-constant and duplicate checks run against a controlled
+// vocabulary.
+func TestNamesFileAudit(t *testing.T) {
+	orig := counterhygiene.StatsPackage
+	counterhygiene.StatsPackage = "portsim/internal/lint/counterhygiene/testdata/src/fakestats"
+	defer func() { counterhygiene.StatsPackage = orig }()
+	analysistest.Run(t, counterhygiene.Analyzer, "fakestats", "b")
+}

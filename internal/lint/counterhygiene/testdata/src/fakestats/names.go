@@ -1,0 +1,11 @@
+// Canonical counter vocabulary for the fakestats fixture. DeadName is never
+// written by package b, and Dup2 spells the same counter as Dup1; both are
+// audit findings.
+package fakestats
+
+const (
+	Good     = "good"
+	DeadName = "dead.name" // want `canonical counter name DeadName \("dead\.name"\) is never written`
+	Dup1     = "same.value"
+	Dup2     = "same.value" // want `counter name constant Dup2 duplicates Dup1`
+)

@@ -1,0 +1,152 @@
+// Package cyclemath implements the portlint analyzer for unsigned cycle
+// arithmetic. The simulator keeps cycle counts, completion times and
+// addresses in uint64, where subtraction silently wraps: `now - start`
+// is ~1.8e19 when start is still in the future, and every derived statistic
+// inherits the corruption. Two rules:
+//
+//   - subtraction (a - b, a -= b) of non-constant uint64 operands is
+//     flagged unless the enclosing function also compares the same two
+//     operands (the dominating ordering check that makes the subtraction
+//     safe, e.g. `if now < start { return 0 }` before `now - start`).
+//     The check is intra-function and syntactic — it matches the operand
+//     expressions textually — so it cannot prove dominance, but it forces
+//     every wrapping subtraction to at least sit next to its guard. Sites
+//     whose safety comes from non-comparison invariants (masked-down
+//     addresses, for instance) carry a //portlint:ignore cyclemath comment
+//     explaining the invariant.
+//
+//   - ordered comparisons (<, <=, >, >=) against the `never` completion
+//     sentinel (math.MaxUint64, spelled as a constant or a magic literal)
+//     are flagged: a completion time is either scheduled or never, so only
+//     == and != are meaningful, and >= in particular reads as "ready"
+//     while actually matching the unscheduled sentinel.
+//
+// Test files are not analyzed.
+package cyclemath
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"portsim/internal/lint/analysis"
+)
+
+// Analyzer is the cyclemath analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "cyclemath",
+	Doc: "flags uint64 cycle subtraction without a dominating ordering check " +
+		"and ordered comparisons against the never sentinel",
+	Run: run,
+}
+
+var maxUint64 = constant.MakeUint64(math.MaxUint64)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc applies both rules inside one function body. The guard set is
+// collected over the whole declaration, including function literals it
+// contains: a closure may rely on an ordering check established in its
+// enclosing function.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	guards := make(map[[2]string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		e, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch e.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			guards[pairKey(e.X, e.Y)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.SUB:
+				checkSub(pass, guards, e.OpPos, e.X, e.Y)
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				checkSentinel(pass, e)
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.SUB_ASSIGN {
+				checkSub(pass, guards, e.TokPos, e.Lhs[0], e.Rhs[0])
+			}
+		}
+		return true
+	})
+}
+
+// checkSub flags a uint64 subtraction a-b whose operand pair never appears
+// in an ordering comparison within the same function.
+func checkSub(pass *analysis.Pass, guards map[[2]string]bool, pos token.Pos, a, b ast.Expr) {
+	if !isUint64(pass.TypesInfo, a) || !isUint64(pass.TypesInfo, b) {
+		return
+	}
+	if isConst(pass.TypesInfo, a) || isConst(pass.TypesInfo, b) {
+		return
+	}
+	if guards[pairKey(a, b)] {
+		return
+	}
+	pass.Reportf(pos,
+		"uint64 subtraction %s - %s wraps on underflow and has no ordering check on the pair in this function; guard it (or //portlint:ignore cyclemath with the invariant that makes it safe)",
+		types.ExprString(a), types.ExprString(b))
+}
+
+// checkSentinel flags ordered comparisons where either operand is the
+// math.MaxUint64 never-sentinel.
+func checkSentinel(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if isNeverSentinel(pass.TypesInfo, e.X) || isNeverSentinel(pass.TypesInfo, e.Y) {
+		pass.Reportf(e.OpPos,
+			"ordered comparison against the never sentinel (math.MaxUint64); a completion time is either scheduled or never, so compare with == or !=")
+	}
+}
+
+func isNeverSentinel(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, maxUint64)
+}
+
+func isUint64(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// pairKey normalises an operand pair to an order-independent key so that
+// `a < b` guards `b - a` as well as `a - b`.
+func pairKey(a, b ast.Expr) [2]string {
+	x, y := types.ExprString(a), types.ExprString(b)
+	if x > y {
+		x, y = y, x
+	}
+	return [2]string{x, y}
+}

@@ -1,0 +1,12 @@
+package cyclemath_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/cyclemath"
+)
+
+func TestCyclemath(t *testing.T) {
+	analysistest.Run(t, cyclemath.Analyzer, "a")
+}

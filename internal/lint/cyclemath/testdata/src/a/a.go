@@ -1,0 +1,54 @@
+// Package a is a cyclemath fixture: unguarded uint64 subtraction and
+// ordered never-sentinel comparisons are flagged; guarded subtraction,
+// constant operands and equality tests are not.
+package a
+
+import "math"
+
+const never = math.MaxUint64
+
+func unguarded(now, start uint64) uint64 {
+	return now - start // want `uint64 subtraction now - start wraps on underflow`
+}
+
+func unguardedAssign(budget, cost uint64) uint64 {
+	budget -= cost // want `uint64 subtraction budget - cost wraps on underflow`
+	return budget
+}
+
+func guarded(now, start uint64) uint64 {
+	if now < start {
+		return 0
+	}
+	return now - start
+}
+
+func guardedFlipped(now, start uint64) uint64 {
+	if start > now {
+		return 0
+	}
+	return now - start
+}
+
+func constantOperand(x uint64) uint64 {
+	return x - 1
+}
+
+func signedInt(a, b int64) int64 {
+	return a - b
+}
+
+func sentinelOrdered(done uint64) bool {
+	if done >= never { // want `ordered comparison against the never sentinel`
+		return false
+	}
+	return done >= 18446744073709551615 // want `ordered comparison against the never sentinel`
+}
+
+func sentinelEquality(done uint64) bool {
+	return done != never
+}
+
+func suppressed(addr, base uint64) uint64 {
+	return addr - base //portlint:ignore cyclemath fixture invariant: base is addr masked down
+}

@@ -1,0 +1,96 @@
+// Package detrand implements the portlint analyzer that guards the
+// simulator's run-to-run reproducibility. Every result table in
+// EXPERIMENTS.md is keyed by a workload seed; a single call to the global
+// math/rand source (process-seeded since Go 1.20) or to the wall clock in
+// simulator code silently turns those tables into noise. The analyzer flags:
+//
+//   - references to package-level math/rand and math/rand/v2 functions
+//     (rand.Intn, rand.Float64, rand.Shuffle, ...), which draw from the
+//     shared, unseeded source. Constructing an explicit seeded generator
+//     (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG, rand.NewChaCha8)
+//     stays legal — that is the injected-PRNG pattern the workload
+//     generators use.
+//   - references to time.Now, time.Since and time.Until, which leak wall
+//     time into simulated behaviour. Packages whose job is wall-clock
+//     reporting (cmd/portbench's throughput summary) are exempted through
+//     AllowWallClock.
+//
+// Test files are never analyzed, so tests remain free to time themselves.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"portsim/internal/lint/analysis"
+)
+
+// AllowWallClock lists package import paths allowed to read the wall clock.
+// The math/rand rules still apply to them: a benchmark driver may time
+// itself, but it must not perturb simulated behaviour.
+var AllowWallClock = map[string]bool{
+	"portsim/cmd/portbench": true,
+}
+
+// seededConstructors are the math/rand and math/rand/v2 package functions
+// that build an explicit generator instead of drawing from the global one.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// wallClockFuncs are the time package functions that observe the current
+// time.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "flags global math/rand usage and wall-clock reads that would break " +
+		"run-to-run determinism of simulation results",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	allowClock := AllowWallClock[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if ok && !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the global rand source and breaks run-to-run determinism; use an injected seeded *rand.Rand",
+						ident.Name, fn.Name())
+				}
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] && !allowClock {
+					pass.Reportf(sel.Pos(),
+						"%s.%s reads the wall clock in simulator code; derive timing from simulated cycles (or add the package to detrand.AllowWallClock if it only reports host throughput)",
+						ident.Name, sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "a")
+}
+
+// TestAllowWallClock checks that allowlisting a package exempts its
+// wall-clock reads but keeps the global-rand rules.
+func TestAllowWallClock(t *testing.T) {
+	const path = "portsim/internal/lint/detrand/testdata/src/wallclock"
+	detrand.AllowWallClock[path] = true
+	defer delete(detrand.AllowWallClock, path)
+	analysistest.Run(t, detrand.Analyzer, "wallclock")
+}

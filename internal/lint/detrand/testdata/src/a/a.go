@@ -1,0 +1,36 @@
+// Package a is a detrand fixture: global rand and wall-clock uses are
+// flagged, injected seeded generators and suppressed lines are not.
+package a
+
+import (
+	"math/rand"
+	mrv2 "math/rand/v2"
+	"time"
+)
+
+func globalRand() int {
+	n := rand.Intn(6)                  // want `rand.Intn draws from the global rand source`
+	n += int(rand.Int63())             // want `rand.Int63 draws from the global rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the global rand source`
+	n += mrv2.IntN(6)                  // want `mrv2.IntN draws from the global rand source`
+	return n
+}
+
+func wallClock() time.Duration {
+	t := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(t) // want `time.Since reads the wall clock`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	r2 := mrv2.New(mrv2.NewPCG(1, 2))
+	return r.Intn(6) + r2.IntN(6)
+}
+
+func notTheClock() time.Time {
+	return time.Unix(42, 0)
+}
+
+func suppressed() time.Time {
+	return time.Now() //portlint:ignore detrand fixture demonstrating suppression
+}

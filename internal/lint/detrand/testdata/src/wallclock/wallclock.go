@@ -1,0 +1,18 @@
+// Package wallclock is a detrand fixture for the AllowWallClock exemption:
+// the test adds this package's path to the allowlist, so the wall-clock
+// reads pass while global rand stays flagged.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func report() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func stillFlagged() float64 {
+	return rand.Float64() // want `rand.Float64 draws from the global rand source`
+}

@@ -1,0 +1,50 @@
+// Package floatcmp implements the portlint analyzer that flags == and !=
+// between floating-point values. The experiment harness reduces counters to
+// float64 ratios (IPC, miss rates, port utilisation); exact equality on
+// those is either a tautology or a latent bug that flips with evaluation
+// order, so comparisons must be ordered (<, <=, ...), epsilon-based, or
+// restructured onto the integer counters. Test files are not analyzed.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"portsim/internal/lint/analysis"
+)
+
+// Analyzer is the floatcmp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc: "flags == and != comparisons between floating-point values in " +
+		"stats and experiment code",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(*ast.BinaryExpr)
+			if !ok || (e.Op != token.EQL && e.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypesInfo, e.X) || isFloat(pass.TypesInfo, e.Y) {
+				pass.Reportf(e.OpPos,
+					"floating-point %s comparison is unreliable; use an ordered comparison, an epsilon, or compare the underlying integer counters",
+					e.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

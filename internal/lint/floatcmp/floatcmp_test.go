@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, floatcmp.Analyzer, "a")
+}

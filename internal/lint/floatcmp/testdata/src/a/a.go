@@ -1,0 +1,21 @@
+// Package a is a floatcmp fixture: exact float equality is flagged,
+// ordered comparisons and integer equality are not.
+package a
+
+type ipc float64
+
+func compare(a, b float64, f float32, n, m int, r ipc) bool {
+	if a == b { // want `floating-point == comparison is unreliable`
+		return true
+	}
+	if f != 2.5 { // want `floating-point != comparison is unreliable`
+		return true
+	}
+	if r == 1.0 { // want `floating-point == comparison is unreliable`
+		return true
+	}
+	if a < b || a >= b {
+		return true
+	}
+	return n == m
+}

@@ -1,0 +1,160 @@
+// Package lint is the portlint driver: it loads packages, runs the analyzer
+// suite over them, applies //portlint:ignore suppressions and returns the
+// surviving findings in a stable order. cmd/portlint is a thin wrapper; the
+// repository's self-test runs the same entrypoints in-process.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"portsim/internal/lint/analysis"
+	"portsim/internal/lint/configbounds"
+	"portsim/internal/lint/counterhygiene"
+	"portsim/internal/lint/cyclemath"
+	"portsim/internal/lint/detrand"
+	"portsim/internal/lint/floatcmp"
+	"portsim/internal/lint/loader"
+)
+
+// Suite returns the full portlint analyzer suite.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		configbounds.Analyzer,
+		counterhygiene.Analyzer,
+		cyclemath.Analyzer,
+		detrand.Analyzer,
+		floatcmp.Analyzer,
+	}
+}
+
+// Finding is one diagnostic surviving suppression, resolved to a concrete
+// source position.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run loads the patterns relative to dir and analyzes them with the given
+// analyzers (the full Suite when analyzers is empty).
+func Run(dir string, patterns []string, analyzers ...*analysis.Analyzer) ([]Finding, error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(pkgs, analyzers...)
+}
+
+// Analyze runs the analyzers over already-loaded packages.
+func Analyze(pkgs []*analysis.Package, analyzers ...*analysis.Analyzer) ([]Finding, error) {
+	if len(analyzers) == 0 {
+		analyzers = Suite()
+	}
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	suppressed := suppressions(fset, pkgs)
+
+	var findings []Finding
+	report := func(name string) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if suppressed[suppressionKey{pos.Filename, pos.Line, name}] {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Position: pos, Message: d.Message})
+		}
+	}
+	for _, a := range analyzers {
+		if a.Run != nil {
+			for _, pkg := range pkgs {
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.TypesInfo,
+					Report:    report(a.Name),
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+				}
+			}
+		}
+		if a.RunModule != nil {
+			pass := &analysis.ModulePass{
+				Analyzer: a,
+				Fset:     fset,
+				Pkgs:     pkgs,
+				Report:   report(a.Name),
+			}
+			if err := a.RunModule(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s module pass: %v", a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// suppressionKey addresses one (file, line, analyzer) suppression.
+type suppressionKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+const ignorePrefix = "//portlint:ignore"
+
+// suppressions collects //portlint:ignore directives. A directive silences
+// the named analyzers on its own line and on the line below, which covers
+// both trailing comments and standalone comment lines above the flagged
+// statement.
+func suppressions(fset *token.FileSet, pkgs []*analysis.Package) map[suppressionKey]bool {
+	sup := make(map[suppressionKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, name := range strings.Split(fields[0], ",") {
+						if name == "" {
+							continue
+						}
+						sup[suppressionKey{pos.Filename, pos.Line, name}] = true
+						sup[suppressionKey{pos.Filename, pos.Line + 1, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}

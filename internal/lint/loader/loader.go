@@ -1,0 +1,154 @@
+// Package loader loads and type-checks Go packages for portlint without
+// depending on golang.org/x/tools. It shells out to `go list -export` to
+// resolve package patterns and to obtain compiled export data for every
+// dependency (standard library included), then parses and type-checks only
+// the requested packages from source with the standard library's gc
+// importer reading that export data. This is the same division of labour as
+// x/tools/go/packages in LoadSyntax mode, built from stdlib parts, and it
+// works fully offline: the go tool compiles export data locally.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"portsim/internal/lint/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load resolves the patterns relative to dir (typically the module root)
+// and returns the matched packages, parsed and type-checked, sorted by
+// import path. Dependencies are loaded from export data and are not
+// returned. Patterns default to ./... when empty.
+func Load(dir string, patterns ...string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*analysis.Package
+	for _, t := range targets {
+		pkg, err := typeCheck(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// goList runs `go list -export -deps` and splits the result into the
+// requested target packages and an import-path -> export-file map covering
+// every dependency.
+func goList(dir string, patterns []string) ([]listPackage, map[string]string, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,Standard,DepOnly",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("loader: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("loader: decoding go list output: %v", err)
+		}
+		exports[p.ImportPath] = p.Export
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, nil, fmt.Errorf("loader: no packages match %s", strings.Join(patterns, " "))
+	}
+	return targets, exports, nil
+}
+
+// typeCheck parses a target package's non-test files and type-checks them
+// against export data for all imports.
+func typeCheck(fset *token.FileSet, imp types.Importer, t listPackage) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("loader: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tpkg, _ := conf.Check(t.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("loader: type errors in %s:\n  %s",
+			t.ImportPath, strings.Join(typeErrs, "\n  "))
+	}
+	return &analysis.Package{
+		Path:      t.ImportPath,
+		Dir:       t.Dir,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		Fset:      fset,
+	}, nil
+}

@@ -1,0 +1,101 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"portsim/internal/lint"
+)
+
+// TestRepoClean asserts the invariant CI gates on: the full analyzer suite
+// reports zero findings over the module's own packages.
+func TestRepoClean(t *testing.T) {
+	findings, err := lint.Run("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("portlint finding on the repository itself: %s", f)
+	}
+}
+
+// TestGoVet asserts go vet stays clean, mirroring the CI gate.
+func TestGoVet(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	cmd := exec.Command(goTool, "vet", "./...")
+	cmd.Dir = "../.."
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet ./...: %v\n%s", err, out.Bytes())
+	}
+}
+
+// TestPlantedViolations builds a scratch module containing one violation per
+// determinism/arithmetic analyzer and asserts the suite fails on it — the
+// guarantee that a regression cannot slip through a green lint run.
+func TestPlantedViolations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("main.go", `package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := uint64(time.Now().UnixNano()) // time.Now: detrand
+	end := uint64(rand.Int63())            // global rand: detrand
+	elapsed := end - start                 // unguarded uint64 subtraction: cyclemath
+	if float64(elapsed) == 1.0 {           // exact float equality: floatcmp
+		fmt.Println("never")
+	}
+}
+`)
+
+	findings, err := lint.Run(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint.Run on scratch module: %v", err)
+	}
+	wantAnalyzers := []string{"cyclemath", "detrand", "floatcmp"}
+	got := make(map[string]int)
+	for _, f := range findings {
+		got[f.Analyzer]++
+	}
+	for _, name := range wantAnalyzers {
+		if got[name] == 0 {
+			t.Errorf("planted %s violation not reported; findings: %v", name, findings)
+		}
+	}
+	if got["detrand"] < 2 {
+		t.Errorf("want both the rand and wall-clock detrand findings, got %d", got["detrand"])
+	}
+}
+
+// TestSuiteStable pins the analyzer roster so CI output stays predictable.
+func TestSuiteStable(t *testing.T) {
+	var names []string
+	for _, a := range lint.Suite() {
+		names = append(names, a.Name)
+	}
+	want := "configbounds,counterhygiene,cyclemath,detrand,floatcmp"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("Suite() = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import "fmt"
+
+// This file is the canonical counter vocabulary of the simulator. Every
+// counter written into a stats.Set by non-test code is named here (or built
+// by one of the name constructors below), and the core simulator packages
+// are required by portlint's counterhygiene analyzer to use these constants
+// rather than string literals — a typo'd name then fails compilation or
+// lint instead of silently reading zero. Regenerate the expected write set
+// with `go run ./cmd/portlint -counters ./...` when adding counters.
+
+// Core pipeline counters (written by internal/cpu).
+const (
+	Cycles       = "cycles"
+	Instructions = "instructions"
+	InstsUser    = "insts.user"
+	InstsKernel  = "insts.kernel"
+	Loads        = "loads"
+	Stores       = "stores"
+	Branches     = "branches"
+	Mispredicts  = "mispredicts"
+
+	StallFetchCycles       = "stall.fetch_cycles"
+	StallROBFullCycles     = "stall.rob_full_cycles"
+	StallCommitStoreBuffer = "stall.commit_store_buffer"
+
+	LSQForwards   = "lsq.forwards"
+	LSQViolations = "lsq.violations"
+
+	FetchWrongPathLines = "fetch.wrong_path_lines"
+)
+
+// Memory-hierarchy counters (written by internal/cpu from the cache and
+// TLB models).
+const (
+	L1DHits       = "l1d.hits"
+	L1DMisses     = "l1d.misses"
+	L1DWritebacks = "l1d.writebacks"
+	L1IHits       = "l1i.hits"
+	L1IMisses     = "l1i.misses"
+	L2Hits        = "l2.hits"
+	L2Misses      = "l2.misses"
+	DRAMAccesses  = "dram.accesses"
+	ITLBHits      = "itlb.hits"
+	ITLBMisses    = "itlb.misses"
+	DTLBHits      = "dtlb.hits"
+	DTLBMisses    = "dtlb.misses"
+)
+
+// Cache-port counters (written by internal/core's MemPort, the subsystem
+// under study in the paper).
+const (
+	PortCycles               = "port.cycles"
+	PortGrants               = "port.grants"
+	PortLoadAccesses         = "port.load_accesses"
+	PortStoreAccesses        = "port.store_accesses"
+	PortLoadsFromCache       = "port.loads_from_cache"
+	PortLoadsFromLineBuffer  = "port.loads_from_line_buffer"
+	PortLoadsFromStoreBuffer = "port.loads_from_store_buffer"
+	PortRejectPortBusy       = "port.reject_port_busy"
+	PortRejectMSHR           = "port.reject_mshr"
+	PortRejectStoreConflict  = "port.reject_store_conflict"
+	PortRejectBankConflict   = "port.reject_bank_conflict"
+	PortSBInserts            = "port.sb_inserts"
+	PortSBCombined           = "port.sb_combined"
+	PortSBDrains             = "port.sb_drains"
+	PortSBForwards           = "port.sb_forwards"
+	PortLBHits               = "port.lb_hits"
+	PortLBFills              = "port.lb_fills"
+	PortLBInvalidations      = "port.lb_invalidations"
+	PortRefillCycles         = "port.refill_cycles"
+	PortPrefetches           = "port.prefetches"
+	PortUsefulPrefetches     = "port.useful_prefetches"
+)
+
+// ClassCounter names the per-instruction-class commit counter for an
+// isa.Class string (e.g. "class.load"). The only data-dependent counter
+// family next to GrantBucket; counterhygiene treats calls to these
+// constructors as canonical names.
+func ClassCounter(class string) string { return "class." + class }
+
+// GrantBucket names the port-grant histogram counter for cycles that
+// granted exactly n accesses.
+func GrantBucket(n int) string { return fmt.Sprintf("port.cycles_with_%d_grants", n) }

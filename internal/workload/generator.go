@@ -322,6 +322,7 @@ func (g *Generator) emitTerminator(in *isa.Inst, ms *modeState, blk int) {
 			in.Target = g.user.layout.starts[0]
 		}
 		g.user.block = ub
+		//portlint:ignore cyclemath pushed return PCs lie inside the layout, so starts[ub] <= ret.pc
 		g.user.posInBlk = int((ret.pc - g.user.layout.starts[ub]) / 4)
 		g.cur = &g.user
 		g.toKernel = g.exp(g.prof.Kernel.EveryMean)
@@ -365,6 +366,7 @@ func (g *Generator) emitTerminator(in *isa.Inst, ms *modeState, blk int) {
 			in.Target = l.starts[0]
 		}
 		ms.block = b
+		//portlint:ignore cyclemath pushed return PCs lie inside the layout, so starts[b] <= ret.pc
 		ms.posInBlk = int((ret.pc - l.starts[b]) / 4)
 	default:
 		panic(fmt.Sprintf("workload: block %d has terminator %v", blk, kind))
@@ -556,7 +558,7 @@ func (g *Generator) nextAddr(rs *regionState, size uint8) uint64 {
 		// Wander near the stack pointer.
 		delta := uint64(g.rng.Int63n(128))
 		if g.rng.Intn(2) == 0 && rs.cursor > s.Base+delta+64 {
-			rs.cursor -= delta
+			rs.cursor -= delta //portlint:ignore cyclemath guard above gives cursor > Base+delta+64 >= delta
 		} else if rs.cursor+delta+64 < s.Base+s.Size {
 			rs.cursor += delta
 		}
@@ -568,7 +570,7 @@ func (g *Generator) nextAddr(rs *regionState, size uint8) uint64 {
 		addr = s.Base
 	}
 	if addr+align > s.Base+s.Size {
-		addr = s.Base + s.Size - align
+		addr = s.Base + s.Size - align //portlint:ignore cyclemath Region.Size is validated >= 64 >= align
 		addr &^= align - 1
 	}
 	return addr
