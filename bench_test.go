@@ -7,6 +7,8 @@
 package portsim_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"portsim"
@@ -14,12 +16,15 @@ import (
 )
 
 // benchSpec keeps benchmark iterations affordable while still running every
-// stage of each experiment.
+// stage of each experiment. Parallel is pinned to GOMAXPROCS so the CI
+// bench smoke exercises the parallel experiment engine, not the serial
+// fallback.
 func benchSpec() experiments.Spec {
 	return experiments.Spec{
 		Workloads: []string{"compress", "eqntott", "database"},
 		Insts:     30_000,
 		Seed:      42,
+		Parallel:  runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -230,6 +235,31 @@ func BenchmarkA8WrongPathFetch(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(rows[0].PollutedIPC/rows[0].IdealIPC, "polluted/ideal")
+	}
+}
+
+// BenchmarkParallelScaling times the multi-cell headline experiment at one
+// worker and at GOMAXPROCS workers on a fresh (unmemoised) runner each
+// iteration: the ratio of the two is the experiment engine's wall-clock
+// speedup on this host.
+func BenchmarkParallelScaling(b *testing.B) {
+	levels := []int{1}
+	if procs := runtime.GOMAXPROCS(0); procs > 1 {
+		levels = append(levels, procs)
+	}
+	for _, p := range levels {
+		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := benchSpec()
+				spec.Parallel = p
+				r := experiments.NewRunner(spec)
+				rows, _, err := experiments.F6Headline(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rows[0].BestOfDual, "best/dual")
+			}
+		})
 	}
 }
 

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	portbench [-quick] [-insts n] [-seed n] [-only T1,F6,...]
+//	portbench [-quick] [-insts n] [-seed n] [-only T1,F6,...] [-csv]
+//	          [-parallel n] [-progress]
+//
+// Simulations run on a bounded worker pool (-parallel, default GOMAXPROCS);
+// results are merged in submission order, so every table is byte-identical
+// to a -parallel 1 run.
 package main
 
 import (
@@ -30,11 +35,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("portbench", flag.ContinueOnError)
 	var (
-		quick = fs.Bool("quick", false, "reduced workload set and instruction budget")
-		insts = fs.Uint64("insts", 0, "override the committed-instruction budget per run")
-		seed  = fs.Int64("seed", 42, "workload generator seed")
-		only  = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
-		csv   = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		quick    = fs.Bool("quick", false, "reduced workload set and instruction budget")
+		insts    = fs.Uint64("insts", 0, "override the committed-instruction budget per run")
+		seed     = fs.Int64("seed", 42, "workload generator seed")
+		only     = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		parallel = fs.Int("parallel", 0, "concurrent simulations (<=0: GOMAXPROCS); tables are byte-identical at any setting")
+		progress = fs.Bool("progress", false, "report completed simulation cells on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		spec.Insts = *insts
 	}
 	spec.Seed = *seed
+	spec.Parallel = *parallel
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -60,6 +68,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "portbench: %d workloads x %d instructions, seed %d\n\n",
 		len(spec.Workloads), spec.Insts, spec.Seed)
 	runner := experiments.NewRunner(spec)
+	if *progress {
+		runner.SetProgress(func(done int) {
+			fmt.Fprintf(os.Stderr, "\rportbench: %d cells done", done)
+		})
+	}
 	start := time.Now()
 
 	type experiment struct {
@@ -106,9 +119,21 @@ func run(args []string, out io.Writer) error {
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches -only=%q", *only)
 	}
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(out, "total wall time: %s\n", elapsed.Round(time.Millisecond))
-	if secs := elapsed.Seconds(); secs > 0 && runner.SimulatedCycles() > 0 {
+	if runner.SimulatedCycles() > 0 {
+		// A near-zero elapsed time (a tiny -insts spec on a fast host)
+		// would print +Inf or absurd throughput; clamp the divisor to a
+		// microsecond so the report stays finite and honest about the
+		// timer's resolution.
+		const minSecs = 1e-6
+		secs := elapsed.Seconds()
+		if secs < minSecs {
+			secs = minSecs
+		}
 		fmt.Fprintf(out, "simulated %d cycles / %d instructions (%.2f Mcycles/s, %.2f Minsts/s host throughput)\n",
 			runner.SimulatedCycles(), runner.SimulatedInstructions(),
 			float64(runner.SimulatedCycles())/secs/1e6,

@@ -57,6 +57,64 @@ func TestHeaderReportsSpec(t *testing.T) {
 	}
 }
 
+// stripTiming drops the wall-time and host-throughput footer lines, the
+// only output that legitimately differs between runs.
+func stripTiming(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "total wall time:") || strings.Contains(line, "host throughput") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestParallelOutputByteIdentical is the CLI-level determinism guarantee:
+// everything but the timing footer must match between -parallel 1 and
+// -parallel 8.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	serial, err := runPB(t, "-quick", "-insts", "4000", "-only", "T2,F1,F6", "-parallel", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runPB(t, "-quick", "-insts", "4000", "-only", "T2,F1,F6", "-parallel", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripTiming(par) != stripTiming(serial) {
+		t.Errorf("-parallel 8 output diverged from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, par)
+	}
+}
+
+func TestProgressFlagRuns(t *testing.T) {
+	out, err := runPB(t, "-quick", "-insts", "2000", "-only", "T2", "-parallel", "2", "-progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "cells done") {
+		t.Error("progress leaked into the table stream; it must stay on stderr")
+	}
+}
+
+// TestThroughputReportFinite guards the rate math: even a degenerate spec
+// that finishes in roughly zero wall time must not print Inf or NaN.
+func TestThroughputReportFinite(t *testing.T) {
+	out, err := runPB(t, "-quick", "-insts", "1000", "-only", "T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("throughput report contains %s:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, "host throughput") {
+		t.Errorf("throughput footer missing:\n%s", out)
+	}
+}
+
 func TestCSVOutput(t *testing.T) {
 	out, err := runPB(t, "-quick", "-insts", "4000", "-only", "T1", "-csv")
 	if err != nil {

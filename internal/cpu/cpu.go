@@ -85,6 +85,23 @@ type Options struct {
 	DeadlineCycles uint64
 }
 
+// deadlineCyclesPerInst is the deadlock-guard budget: no sane run needs
+// 400 cycles per committed instruction.
+const deadlineCyclesPerInst = 400
+
+// DeadlineFor returns the deadlock-guard deadline for a committed-
+// instruction budget. The multiplication saturates at math.MaxUint64
+// instead of wrapping: a wrapped product would turn the guard into a
+// near-instant deadline for absurdly large budgets, while a saturated one
+// merely never fires (the cycle counter cannot exceed it). Zero stays
+// zero, which disables the guard.
+func DeadlineFor(insts uint64) uint64 {
+	if insts > math.MaxUint64/deadlineCyclesPerInst {
+		return math.MaxUint64
+	}
+	return deadlineCyclesPerInst * insts
+}
+
 // Result summarises a completed simulation.
 type Result struct {
 	Cycles       uint64

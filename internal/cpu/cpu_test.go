@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"math"
 	"testing"
 
 	"portsim/internal/config"
@@ -389,5 +390,27 @@ func TestICacheMissesSlowFetch(t *testing.T) {
 	}
 	if res.Counters.Get("l1i.misses") == 0 {
 		t.Error("large-code workload produced no instruction-cache misses")
+	}
+}
+
+// TestDeadlineForSaturates: the deadlock-guard deadline must saturate at
+// math.MaxUint64 for absurd instruction budgets instead of wrapping into a
+// near-zero instant deadline.
+func TestDeadlineForSaturates(t *testing.T) {
+	if got := DeadlineFor(0); got != 0 {
+		t.Errorf("DeadlineFor(0) = %d; zero must stay zero (guard disabled)", got)
+	}
+	if got := DeadlineFor(1000); got != 400_000 {
+		t.Errorf("DeadlineFor(1000) = %d, want 400000", got)
+	}
+	const boundary = math.MaxUint64 / deadlineCyclesPerInst
+	if got := DeadlineFor(boundary); got != deadlineCyclesPerInst*boundary {
+		t.Errorf("DeadlineFor(boundary) = %d; the largest exact product must not saturate", got)
+	}
+	for _, insts := range []uint64{boundary + 1, math.MaxUint64} {
+		if got := DeadlineFor(insts); got != math.MaxUint64 {
+			t.Errorf("DeadlineFor(%d) = %d, want saturation at MaxUint64 (wrap would be %d)",
+				insts, got, deadlineCyclesPerInst*insts)
+		}
 	}
 }

@@ -1,3 +1,14 @@
+// Package experiments implements the paper's evaluation: one function per
+// reconstructed table or figure (see DESIGN.md's experiment index). Each
+// experiment builds machine variants, runs every workload through the
+// simulator, and renders a paper-style plain-text table plus typed rows for
+// programmatic checks. cmd/portbench and the repository benchmarks are thin
+// wrappers over this package.
+//
+// Experiments execute on the Runner's bounded worker pool: every (machine,
+// workload) cell is submitted in the order the serial harness would have
+// visited it, simulated concurrently, and consumed by submission index, so
+// tables and geomeans are byte-identical at any parallelism level.
 package experiments
 
 import (
@@ -56,22 +67,28 @@ type T2Row struct {
 func T2Characterisation(r *Runner) ([]T2Row, *stats.Table, error) {
 	t := stats.NewTable("T2: workload characterisation (baseline single-port machine)",
 		"workload", "loads", "stores", "branches", "kernel", "L1D miss", "mispred", "IPC")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells, r.runCell(config.Baseline(), w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []T2Row
-	for _, w := range r.Spec().Workloads {
-		res, err := r.Run(config.Baseline(), w)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, w := range workloads {
+		res := results[i]
 		n := float64(res.Instructions)
 		s := res.Counters
 		row := T2Row{
 			Workload:      w,
-			LoadFrac:      float64(res.Loads) / n,
-			StoreFrac:     float64(res.Stores) / n,
-			BranchFrac:    float64(res.Branches) / n,
-			KernelFrac:    float64(res.KernelInsts) / n,
-			L1DMissRate:   float64(s.Get(stats.L1DMisses)) / float64(s.Get(stats.L1DMisses)+s.Get(stats.L1DHits)),
-			MispredictPct: float64(res.Mispredicts) / float64(res.Branches),
+			LoadFrac:      stats.SafeRatio(float64(res.Loads), n),
+			StoreFrac:     stats.SafeRatio(float64(res.Stores), n),
+			BranchFrac:    stats.SafeRatio(float64(res.Branches), n),
+			KernelFrac:    stats.SafeRatio(float64(res.KernelInsts), n),
+			L1DMissRate:   stats.SafeRatio(float64(s.Get(stats.L1DMisses)), float64(s.Get(stats.L1DMisses)+s.Get(stats.L1DHits))),
+			MispredictPct: stats.SafeRatio(float64(res.Mispredicts), float64(res.Branches)),
 			BaselineIPC:   res.IPC,
 		}
 		rows = append(rows, row)
@@ -95,27 +112,37 @@ func F1PortCount(r *Runner) ([]F1Row, *stats.Table, error) {
 	counts := []int{1, 2, 4}
 	t := stats.NewTable("F1: IPC vs number of cache ports",
 		"workload", "1 port", "2 ports", "4 ports", "1p/2p")
-	var rows []F1Row
-	perCount := map[int][]*cpu.Result{}
-	for _, w := range r.Spec().Workloads {
-		row := F1Row{Workload: w, IPC: map[int]float64{}}
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
 		for _, n := range counts {
 			m := config.Baseline()
 			m.Name = fmt.Sprintf("%d-port", n)
 			m.Ports.Count = n
-			res, err := r.Run(m, w)
-			if err != nil {
-				return nil, nil, err
-			}
+			cells = append(cells, r.runCell(m, w))
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []F1Row
+	perCount := map[int][]*cpu.Result{}
+	k := 0
+	for _, w := range workloads {
+		row := F1Row{Workload: w, IPC: map[int]float64{}}
+		for _, n := range counts {
+			res := results[k]
+			k++
 			row.IPC[n] = res.IPC
 			perCount[n] = append(perCount[n], res)
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.IPC[1]), stats.Cell(row.IPC[2]), stats.Cell(row.IPC[4]),
-			stats.Cell(row.IPC[1]/row.IPC[2]))
+			stats.Cell(stats.SafeRatio(row.IPC[1], row.IPC[2])))
 	}
 	g1, g2, g4 := geoMeanIPC(perCount[1]), geoMeanIPC(perCount[2]), geoMeanIPC(perCount[4])
-	t.AddRow("geomean", stats.Cell(g1), stats.Cell(g2), stats.Cell(g4), stats.Cell(g1/g2))
+	t.AddRow("geomean", stats.Cell(g1), stats.Cell(g2), stats.Cell(g4), stats.Cell(stats.SafeRatio(g1, g2)))
 	return rows, t, nil
 }
 
@@ -137,31 +164,41 @@ func F2BufferDepth(r *Runner) ([]F2Row, *stats.Table, error) {
 		header = append(header, fmt.Sprintf("sb=%d", d))
 	}
 	t := stats.NewTable("F2: single-port IPC vs store-buffer depth", header...)
-	var rows []F2Row
-	perDepth := map[int][]*cpu.Result{}
-	for _, w := range r.Spec().Workloads {
-		row := F2Row{Workload: w, IPC: map[int]float64{}}
-		cells := []string{w}
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
 		for _, d := range F2Depths {
 			m := config.Baseline()
 			m.Name = fmt.Sprintf("sb-%d", d)
 			m.Ports.StoreBufferEntries = d
-			res, err := r.Run(m, w)
-			if err != nil {
-				return nil, nil, err
-			}
+			cells = append(cells, r.runCell(m, w))
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []F2Row
+	perDepth := map[int][]*cpu.Result{}
+	k := 0
+	for _, w := range workloads {
+		row := F2Row{Workload: w, IPC: map[int]float64{}}
+		rowCells := []string{w}
+		for _, d := range F2Depths {
+			res := results[k]
+			k++
 			row.IPC[d] = res.IPC
 			perDepth[d] = append(perDepth[d], res)
-			cells = append(cells, stats.Cell(res.IPC))
+			rowCells = append(rowCells, stats.Cell(res.IPC))
 		}
 		rows = append(rows, row)
-		t.AddRow(cells...)
+		t.AddRow(rowCells...)
 	}
-	cells := []string{"geomean"}
+	rowCells := []string{"geomean"}
 	for _, d := range F2Depths {
-		cells = append(cells, stats.Cell(geoMeanIPC(perDepth[d])))
+		rowCells = append(rowCells, stats.Cell(geoMeanIPC(perDepth[d])))
 	}
-	t.AddRow(cells...)
+	t.AddRow(rowCells...)
 	return rows, t, nil
 }
 
@@ -185,23 +222,33 @@ func F3PortWidth(r *Runner) ([]F3Row, *stats.Table, error) {
 		header = append(header, fmt.Sprintf("%dB", wd))
 	}
 	t := stats.NewTable("F3: single-port IPC vs naive port width (no load-all, no combining)", header...)
-	var rows []F3Row
-	for _, w := range r.Spec().Workloads {
-		row := F3Row{Workload: w, IPC: map[int]float64{}}
-		cells := []string{w}
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
 		for _, wd := range F3Widths {
 			m := config.Baseline()
 			m.Name = fmt.Sprintf("naive-%dB", wd)
 			m.Ports.WidthBytes = wd
-			res, err := r.Run(m, w)
-			if err != nil {
-				return nil, nil, err
-			}
+			cells = append(cells, r.runCell(m, w))
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []F3Row
+	k := 0
+	for _, w := range workloads {
+		row := F3Row{Workload: w, IPC: map[int]float64{}}
+		rowCells := []string{w}
+		for _, wd := range F3Widths {
+			res := results[k]
+			k++
 			row.IPC[wd] = res.IPC
-			cells = append(cells, stats.Cell(res.IPC))
+			rowCells = append(rowCells, stats.Cell(res.IPC))
 		}
 		rows = append(rows, row)
-		t.AddRow(cells...)
+		t.AddRow(rowCells...)
 	}
 	return rows, t, nil
 }
@@ -224,27 +271,37 @@ func F4LineBuffers(r *Runner) ([]F4Row, *stats.Table, error) {
 		header = append(header, fmt.Sprintf("lb=%d", n), "hit")
 	}
 	t := stats.NewTable("F4: load-all line buffers on a single 32B port (IPC and buffer hit rate)", header...)
-	var rows []F4Row
-	for _, w := range r.Spec().Workloads {
-		row := F4Row{Workload: w, IPC: map[int]float64{}, HitRate: map[int]float64{}}
-		cells := []string{w}
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
 		for _, n := range F4Buffers {
 			m := config.Baseline()
 			m.Name = fmt.Sprintf("loadall-%d", n)
 			m.Ports.WidthBytes = 32
 			m.Ports.LineBuffers = n
-			res, err := r.Run(m, w)
-			if err != nil {
-				return nil, nil, err
-			}
+			cells = append(cells, r.runCell(m, w))
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []F4Row
+	k := 0
+	for _, w := range workloads {
+		row := F4Row{Workload: w, IPC: map[int]float64{}, HitRate: map[int]float64{}}
+		rowCells := []string{w}
+		for _, n := range F4Buffers {
+			res := results[k]
+			k++
 			s := res.Counters
 			served := s.Get(stats.PortLoadsFromLineBuffer)
 			row.IPC[n] = res.IPC
-			row.HitRate[n] = float64(served) / float64(res.Loads)
-			cells = append(cells, stats.Cell(res.IPC), stats.Percent(row.HitRate[n]))
+			row.HitRate[n] = stats.SafeRatio(float64(served), float64(res.Loads))
+			rowCells = append(rowCells, stats.Cell(res.IPC), stats.Percent(row.HitRate[n]))
 		}
 		rows = append(rows, row)
-		t.AddRow(cells...)
+		t.AddRow(rowCells...)
 	}
 	return rows, t, nil
 }
@@ -264,9 +321,9 @@ var F5Depths = []int{8, 16}
 func F5StoreCombining(r *Runner) ([]F5Row, *stats.Table, error) {
 	t := stats.NewTable("F5: store combining on a single 32B port",
 		"workload", "off sb=8", "on sb=8", "off sb=16", "on sb=16", "stores/drain (on,16)")
-	var rows []F5Row
-	for _, w := range r.Spec().Workloads {
-		row := F5Row{Workload: w, IPCOff: map[int]float64{}, IPCOn: map[int]float64{}, StoresPerDrain: map[int]float64{}}
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
 		for _, d := range F5Depths {
 			for _, comb := range []bool{false, true} {
 				m := config.Baseline()
@@ -274,15 +331,27 @@ func F5StoreCombining(r *Runner) ([]F5Row, *stats.Table, error) {
 				m.Ports.WidthBytes = 32
 				m.Ports.StoreBufferEntries = d
 				m.Ports.StoreCombining = comb
-				res, err := r.Run(m, w)
-				if err != nil {
-					return nil, nil, err
-				}
+				cells = append(cells, r.runCell(m, w))
+			}
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []F5Row
+	k := 0
+	for _, w := range workloads {
+		row := F5Row{Workload: w, IPCOff: map[int]float64{}, IPCOn: map[int]float64{}, StoresPerDrain: map[int]float64{}}
+		for _, d := range F5Depths {
+			for _, comb := range []bool{false, true} {
+				res := results[k]
+				k++
 				if comb {
 					row.IPCOn[d] = res.IPC
 					s := res.Counters
 					if drains := s.Get(stats.PortSBDrains); drains > 0 {
-						row.StoresPerDrain[d] = float64(s.Get(stats.PortSBInserts)) / float64(drains)
+						row.StoresPerDrain[d] = stats.SafeRatio(float64(s.Get(stats.PortSBInserts)), float64(drains))
 					}
 				} else {
 					row.IPCOff[d] = res.IPC
@@ -312,30 +381,32 @@ type F6Row struct {
 func F6Headline(r *Runner) ([]F6Row, *stats.Table, error) {
 	t := stats.NewTable("F6: headline — single port + techniques vs dual port",
 		"workload", "single", "best-single", "dual", "single/dual", "best/dual")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells,
+			r.runCell(config.Baseline(), w),
+			r.runCell(config.BestSingle(), w),
+			r.runCell(config.DualPort(), w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []F6Row
 	var singles, bests, duals []*cpu.Result
-	for _, w := range r.Spec().Workloads {
-		s, err := r.Run(config.Baseline(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		b, err := r.Run(config.BestSingle(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		d, err := r.Run(config.DualPort(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		row := F6Row{Workload: w, SingleIPC: s.IPC, BestIPC: b.IPC, DualIPC: d.IPC, BestOfDual: b.IPC / d.IPC}
+	for i, w := range workloads {
+		s, b, d := results[3*i], results[3*i+1], results[3*i+2]
+		row := F6Row{Workload: w, SingleIPC: s.IPC, BestIPC: b.IPC, DualIPC: d.IPC,
+			BestOfDual: stats.SafeRatio(b.IPC, d.IPC)}
 		rows = append(rows, row)
 		singles, bests, duals = append(singles, s), append(bests, b), append(duals, d)
 		t.AddRow(w, stats.Cell(s.IPC), stats.Cell(b.IPC), stats.Cell(d.IPC),
-			stats.Percent(s.IPC/d.IPC), stats.Percent(row.BestOfDual))
+			stats.Percent(stats.SafeRatio(s.IPC, d.IPC)), stats.Percent(row.BestOfDual))
 	}
 	gs, gb, gd := geoMeanIPC(singles), geoMeanIPC(bests), geoMeanIPC(duals)
 	t.AddRow("geomean", stats.Cell(gs), stats.Cell(gb), stats.Cell(gd),
-		stats.Percent(gs/gd), stats.Percent(gb/gd))
+		stats.Percent(stats.SafeRatio(gs, gd)), stats.Percent(stats.SafeRatio(gb, gd)))
 	return rows, t, nil
 }
 
@@ -356,25 +427,31 @@ type T3Row struct {
 func T3PortUtilisation(r *Runner) ([]T3Row, *stats.Table, error) {
 	t := stats.NewTable("T3: best-single port accounting",
 		"workload", "loads cache", "loads line-buf", "loads store-buf", "stores/drain", "port util", "refill share")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells, r.runCell(config.BestSingle(), w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []T3Row
-	for _, w := range r.Spec().Workloads {
-		res, err := r.Run(config.BestSingle(), w)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, w := range workloads {
+		res := results[i]
 		s := res.Counters
 		loads := float64(res.Loads)
 		grants := float64(s.Get(stats.PortGrants))
 		row := T3Row{
 			Workload:        w,
-			LoadsFromCache:  float64(s.Get(stats.PortLoadsFromCache)) / loads,
-			LoadsFromLB:     float64(s.Get(stats.PortLoadsFromLineBuffer)) / loads,
-			LoadsFromSB:     float64(s.Get(stats.PortLoadsFromStoreBuffer)) / loads,
-			PortUtilisation: grants / float64(s.Get(stats.PortCycles)),
-			RefillShare:     float64(s.Get(stats.PortRefillCycles)) / grants,
+			LoadsFromCache:  stats.SafeRatio(float64(s.Get(stats.PortLoadsFromCache)), loads),
+			LoadsFromLB:     stats.SafeRatio(float64(s.Get(stats.PortLoadsFromLineBuffer)), loads),
+			LoadsFromSB:     stats.SafeRatio(float64(s.Get(stats.PortLoadsFromStoreBuffer)), loads),
+			PortUtilisation: stats.SafeRatio(grants, float64(s.Get(stats.PortCycles))),
+			RefillShare:     stats.SafeRatio(float64(s.Get(stats.PortRefillCycles)), grants),
 		}
 		if drains := s.Get(stats.PortSBDrains); drains > 0 {
-			row.StoresPerDrain = float64(s.Get(stats.PortSBInserts)) / float64(drains)
+			row.StoresPerDrain = stats.SafeRatio(float64(s.Get(stats.PortSBInserts)), float64(drains))
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Percent(row.LoadsFromCache), stats.Percent(row.LoadsFromLB),
@@ -415,7 +492,8 @@ func F7KernelIntensity(r *Runner) ([]F7Row, *stats.Table, error) {
 	}
 	t := stats.NewTable("F7: technique gain vs kernel intensity (database workload)",
 		"intensity", "kernel frac", "single", "best-single", "dual", "best/single", "gap recovered")
-	var rows []F7Row
+	machines := []config.Machine{config.Baseline(), config.BestSingle(), config.DualPort()}
+	var cells []cell
 	for _, pt := range points {
 		prof := base
 		prof.Name = "database-k-" + pt.label
@@ -424,25 +502,24 @@ func F7KernelIntensity(r *Runner) ([]F7Row, *stats.Table, error) {
 		} else {
 			prof.Kernel.EveryMean = pt.every
 		}
-		single, err := r.runProfile(config.Baseline(), prof)
-		if err != nil {
-			return nil, nil, err
+		for _, m := range machines {
+			cells = append(cells, func() (*cpu.Result, error) { return r.runProfile(m, prof) })
 		}
-		best, err := r.runProfile(config.BestSingle(), prof)
-		if err != nil {
-			return nil, nil, err
-		}
-		dual, err := r.runProfile(config.DualPort(), prof)
-		if err != nil {
-			return nil, nil, err
-		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []F7Row
+	for i, pt := range points {
+		single, best, dual := results[3*i], results[3*i+1], results[3*i+2]
 		row := F7Row{
 			Label:         pt.label,
-			KernelFrac:    float64(single.KernelInsts) / float64(single.Instructions),
+			KernelFrac:    stats.SafeRatio(float64(single.KernelInsts), float64(single.Instructions)),
 			SingleIPC:     single.IPC,
 			BestIPC:       best.IPC,
 			DualIPC:       dual.IPC,
-			TechniqueGain: best.IPC / single.IPC,
+			TechniqueGain: stats.SafeRatio(best.IPC, single.IPC),
 		}
 		if gap := dual.IPC - single.IPC; gap > 0 {
 			row.GapRecovered = (best.IPC - single.IPC) / gap
@@ -495,31 +572,31 @@ func A1Ablation(r *Runner) ([]A1Row, *stats.Table, error) {
 		{"all techniques", config.BestSingle()},
 		{"dual port", config.DualPort()},
 	}
+	workloads := r.Spec().Workloads
+	// Dual first, for the ratio column; duplicate cells join the in-flight
+	// or memoised simulation, so the extra submission is free.
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells, r.runCell(config.DualPort(), w))
+	}
+	for _, cfg := range configs {
+		for _, w := range workloads {
+			cells = append(cells, r.runCell(cfg.m, w))
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	dualGeo := geoMeanIPC(results[:len(workloads)])
 	t := stats.NewTable("A1: technique ablation (geomean IPC over all workloads)",
 		"configuration", "geomean IPC", "of dual")
 	var rows []A1Row
-	var dualGeo float64
-	// Dual first, for the ratio column.
-	var dualResults []*cpu.Result
-	for _, w := range r.Spec().Workloads {
-		res, err := r.Run(config.DualPort(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		dualResults = append(dualResults, res)
-	}
-	dualGeo = geoMeanIPC(dualResults)
+	k := len(workloads)
 	for _, cfg := range configs {
-		var results []*cpu.Result
-		for _, w := range r.Spec().Workloads {
-			res, err := r.Run(cfg.m, w)
-			if err != nil {
-				return nil, nil, err
-			}
-			results = append(results, res)
-		}
-		g := geoMeanIPC(results)
-		row := A1Row{Label: cfg.label, Geomean: g, OfDual: g / dualGeo}
+		g := geoMeanIPC(results[k : k+len(workloads)])
+		k += len(workloads)
+		row := A1Row{Label: cfg.label, Geomean: g, OfDual: stats.SafeRatio(g, dualGeo)}
 		rows = append(rows, row)
 		t.AddRow(cfg.label, stats.Cell(g), stats.Percent(row.OfDual))
 	}
@@ -551,29 +628,29 @@ func A2Banking(r *Runner) ([]A2Row, *stats.Table, error) {
 		{"best-single (techniques)", config.BestSingle()},
 		{"dual port", config.DualPort()},
 	}
-	var dualResults []*cpu.Result
-	for _, w := range r.Spec().Workloads {
-		res, err := r.Run(config.DualPort(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		dualResults = append(dualResults, res)
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells, r.runCell(config.DualPort(), w))
 	}
-	dualGeo := geoMeanIPC(dualResults)
+	for _, cfg := range configs {
+		for _, w := range workloads {
+			cells = append(cells, r.runCell(cfg.m, w))
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	dualGeo := geoMeanIPC(results[:len(workloads)])
 	t := stats.NewTable("A2: banking vs multi-porting vs the paper's techniques (geomean IPC)",
 		"configuration", "geomean IPC", "of dual")
 	var rows []A2Row
+	k := len(workloads)
 	for _, cfg := range configs {
-		var results []*cpu.Result
-		for _, w := range r.Spec().Workloads {
-			res, err := r.Run(cfg.m, w)
-			if err != nil {
-				return nil, nil, err
-			}
-			results = append(results, res)
-		}
-		g := geoMeanIPC(results)
-		row := A2Row{Label: cfg.label, Geomean: g, OfDual: g / dualGeo}
+		g := geoMeanIPC(results[k : k+len(workloads)])
+		k += len(workloads)
+		row := A2Row{Label: cfg.label, Geomean: g, OfDual: stats.SafeRatio(g, dualGeo)}
 		rows = append(rows, row)
 		t.AddRow(cfg.label, stats.Cell(g), stats.Percent(row.OfDual))
 	}
@@ -606,24 +683,25 @@ func A3Prefetch(r *Runner) ([]A3Row, *stats.Table, error) {
 
 	t := stats.NewTable("A3: next-line prefetching through idle port slots",
 		"workload", "single", "single+pf", "best+pf", "pf accuracy")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells,
+			r.runCell(config.Baseline(), w),
+			r.runCell(pf, w),
+			r.runCell(bestPf, w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []A3Row
-	for _, w := range r.Spec().Workloads {
-		base, err := r.Run(config.Baseline(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		withPf, err := r.Run(pf, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		best, err := r.Run(bestPf, w)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, w := range workloads {
+		base, withPf, best := results[3*i], results[3*i+1], results[3*i+2]
 		s := withPf.Counters
 		row := A3Row{Workload: w, BaseIPC: base.IPC, PfIPC: withPf.IPC, BestPfIPC: best.IPC}
 		if issued := s.Get(stats.PortPrefetches); issued > 0 {
-			row.Accuracy = float64(s.Get(stats.PortUsefulPrefetches)) / float64(issued)
+			row.Accuracy = stats.SafeRatio(float64(s.Get(stats.PortUsefulPrefetches)), float64(issued))
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.BaseIPC), stats.Cell(row.PfIPC), stats.Cell(row.BestPfIPC),
@@ -652,25 +730,29 @@ func A4MemSpeculation(r *Runner) ([]A4Row, *stats.Table, error) {
 
 	t := stats.NewTable("A4: conservative vs speculative memory disambiguation (single port)",
 		"workload", "conservative", "speculative", "speedup", "violations/kI")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells,
+			r.runCell(config.Baseline(), w),
+			r.runCell(spec, w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []A4Row
-	for _, w := range r.Spec().Workloads {
-		cons, err := r.Run(config.Baseline(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		sp, err := r.Run(spec, w)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, w := range workloads {
+		cons, sp := results[2*i], results[2*i+1]
 		row := A4Row{
 			Workload:        w,
 			Conservative:    cons.IPC,
 			Speculative:     sp.IPC,
-			ViolationsPerKI: 1000 * float64(sp.Counters.Get(stats.LSQViolations)) / float64(sp.Instructions),
+			ViolationsPerKI: stats.SafeRatio(1000*float64(sp.Counters.Get(stats.LSQViolations)), float64(sp.Instructions)),
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.Conservative), stats.Cell(row.Speculative),
-			stats.Cell(row.Speculative/row.Conservative), stats.Cell(row.ViolationsPerKI))
+			stats.Cell(stats.SafeRatio(row.Speculative, row.Conservative)), stats.Cell(row.ViolationsPerKI))
 	}
 	return rows, t, nil
 }
@@ -705,27 +787,28 @@ func A5WritePolicy(r *Runner) ([]A5Row, *stats.Table, error) {
 
 	t := stats.NewTable("A5: write-back vs write-through/no-allocate (single port)",
 		"workload", "write-back", "write-through", "WT+combining", "WB dram/kI", "WT dram/kI")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells,
+			r.runCell(config.Baseline(), w),
+			r.runCell(wt, w),
+			r.runCell(wtc, w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []A5Row
-	for _, w := range r.Spec().Workloads {
-		wb, err := r.Run(config.Baseline(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		plain, err := r.Run(wt, w)
-		if err != nil {
-			return nil, nil, err
-		}
-		comb, err := r.Run(wtc, w)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, w := range workloads {
+		wb, plain, comb := results[3*i], results[3*i+1], results[3*i+2]
 		row := A5Row{
 			Workload:    w,
 			WBPlain:     wb.IPC,
 			WTPlain:     plain.IPC,
 			WTCombining: comb.IPC,
-			WBDRAMPerKI: 1000 * float64(wb.Counters.Get(stats.DRAMAccesses)) / float64(wb.Instructions),
-			WTDRAMPerKI: 1000 * float64(plain.Counters.Get(stats.DRAMAccesses)) / float64(plain.Instructions),
+			WBDRAMPerKI: stats.SafeRatio(1000*float64(wb.Counters.Get(stats.DRAMAccesses)), float64(wb.Instructions)),
+			WTDRAMPerKI: stats.SafeRatio(1000*float64(plain.Counters.Get(stats.DRAMAccesses)), float64(plain.Instructions)),
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.WBPlain), stats.Cell(row.WTPlain), stats.Cell(row.WTCombining),
@@ -758,35 +841,35 @@ func A6Multiprogramming(r *Runner) ([]A6Row, *stats.Table, error) {
 	const quantum = 5000
 	t := stats.NewTable("A6: multiprogramming level (compress, 5k-instruction quanta)",
 		"processes", "single", "best-single", "dual", "L1D miss", "dtlb miss/kI")
+	levels := []int{1, 2, 4, 8}
+	machines := []config.Machine{config.Baseline(), config.BestSingle(), config.DualPort()}
+	var cells []cell
+	for _, n := range levels {
+		for _, m := range machines {
+			cells = append(cells, func() (*cpu.Result, error) {
+				mp, err := workload.NewMultiprogram(prof, n, quantum, r.Spec().Seed)
+				if err != nil {
+					return nil, err
+				}
+				return r.runStream(m, mp, fmt.Sprintf("compress-x%d", n))
+			})
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []A6Row
-	for _, n := range []int{1, 2, 4, 8} {
-		run := func(m config.Machine) (*cpu.Result, error) {
-			mp, err := workload.NewMultiprogram(prof, n, quantum, r.Spec().Seed)
-			if err != nil {
-				return nil, err
-			}
-			return r.runStream(m, mp, fmt.Sprintf("compress-x%d", n))
-		}
-		single, err := run(config.Baseline())
-		if err != nil {
-			return nil, nil, err
-		}
-		best, err := run(config.BestSingle())
-		if err != nil {
-			return nil, nil, err
-		}
-		dual, err := run(config.DualPort())
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, n := range levels {
+		single, best, dual := results[3*i], results[3*i+1], results[3*i+2]
 		s := single.Counters
 		row := A6Row{
 			Processes:  n,
 			SingleIPC:  single.IPC,
 			BestIPC:    best.IPC,
 			DualIPC:    dual.IPC,
-			L1DMiss:    float64(s.Get(stats.L1DMisses)) / float64(s.Get(stats.L1DMisses)+s.Get(stats.L1DHits)),
-			DTLBMissKI: 1000 * float64(s.Get(stats.DTLBMisses)) / float64(single.Instructions),
+			L1DMiss:    stats.SafeRatio(float64(s.Get(stats.L1DMisses)), float64(s.Get(stats.L1DMisses)+s.Get(stats.L1DHits))),
+			DTLBMissKI: stats.SafeRatio(1000*float64(s.Get(stats.DTLBMisses)), float64(single.Instructions)),
 		}
 		rows = append(rows, row)
 		t.AddRow(fmt.Sprint(n), stats.Cell(row.SingleIPC), stats.Cell(row.BestIPC),
@@ -813,20 +896,24 @@ func A7ArbitrationPolicy(r *Runner) ([]A7Row, *stats.Table, error) {
 
 	t := stats.NewTable("A7: port arbitration — loads-first vs stores-first (single port)",
 		"workload", "loads-first", "stores-first", "ratio")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells,
+			r.runCell(config.Baseline(), w),
+			r.runCell(sf, w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []A7Row
-	for _, w := range r.Spec().Workloads {
-		lf, err := r.Run(config.Baseline(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		s, err := r.Run(sf, w)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, w := range workloads {
+		lf, s := results[2*i], results[2*i+1]
 		row := A7Row{Workload: w, LoadsFirst: lf.IPC, StoresFirst: s.IPC}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.LoadsFirst), stats.Cell(row.StoresFirst),
-			stats.Cell(row.StoresFirst/row.LoadsFirst))
+			stats.Cell(stats.SafeRatio(row.StoresFirst, row.LoadsFirst)))
 	}
 	return rows, t, nil
 }
@@ -847,32 +934,42 @@ func T4GrantDistribution(r *Runner) ([]T4Row, *stats.Table, error) {
 	machines := []config.Machine{config.Baseline(), config.BestSingle(), config.DualPort()}
 	t := stats.NewTable("T4: per-cycle port-grant distribution",
 		"machine", "workload", "0 grants", "1 grant", "2 grants")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, m := range machines {
+		for _, w := range workloads {
+			cells = append(cells, r.runCell(m, w))
+		}
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []T4Row
+	k := 0
 	for _, m := range machines {
 		maxG := m.Ports.Count
-		for _, w := range r.Spec().Workloads {
-			res, err := r.Run(m, w)
-			if err != nil {
-				return nil, nil, err
-			}
+		for _, w := range workloads {
+			res := results[k]
+			k++
 			s := res.Counters
 			cycles := float64(s.Get(stats.PortCycles))
 			row := T4Row{Machine: m.Name, Workload: w}
-			cells := []string{m.Name, w}
-			for k := 0; k <= 2; k++ {
+			rowCells := []string{m.Name, w}
+			for g := 0; g <= 2; g++ {
 				frac := 0.0
-				if k <= maxG {
-					frac = float64(s.Get(stats.GrantBucket(k))) / cycles
+				if g <= maxG {
+					frac = stats.SafeRatio(float64(s.Get(stats.GrantBucket(g))), cycles)
 				}
 				row.Frac = append(row.Frac, frac)
-				if k <= maxG {
-					cells = append(cells, stats.Percent(frac))
+				if g <= maxG {
+					rowCells = append(rowCells, stats.Percent(frac))
 				} else {
-					cells = append(cells, "-")
+					rowCells = append(rowCells, "-")
 				}
 			}
 			rows = append(rows, row)
-			t.AddRow(cells...)
+			t.AddRow(rowCells...)
 		}
 	}
 	return rows, t, nil
@@ -899,26 +996,31 @@ func A8WrongPathFetch(r *Runner) ([]A8Row, *stats.Table, error) {
 
 	t := stats.NewTable("A8: idealised vs wrong-path-polluting fetch (single port)",
 		"workload", "idealised", "wrong-path", "ratio", "extra L1I miss/kI")
+	workloads := r.Spec().Workloads
+	var cells []cell
+	for _, w := range workloads {
+		cells = append(cells,
+			r.runCell(config.Baseline(), w),
+			r.runCell(wp, w))
+	}
+	results, err := r.runAll(cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []A8Row
-	for _, w := range r.Spec().Workloads {
-		ideal, err := r.Run(config.Baseline(), w)
-		if err != nil {
-			return nil, nil, err
-		}
-		pol, err := r.Run(wp, w)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, w := range workloads {
+		ideal, pol := results[2*i], results[2*i+1]
 		row := A8Row{
 			Workload:    w,
 			IdealIPC:    ideal.IPC,
 			PollutedIPC: pol.IPC,
-			ExtraL1IPerKI: 1000 * (float64(pol.Counters.Get(stats.L1IMisses)) - float64(ideal.Counters.Get(stats.L1IMisses))) /
-				float64(pol.Instructions),
+			ExtraL1IPerKI: stats.SafeRatio(
+				1000*(float64(pol.Counters.Get(stats.L1IMisses))-float64(ideal.Counters.Get(stats.L1IMisses))),
+				float64(pol.Instructions)),
 		}
 		rows = append(rows, row)
 		t.AddRow(w, stats.Cell(row.IdealIPC), stats.Cell(row.PollutedIPC),
-			stats.Cell(row.PollutedIPC/row.IdealIPC), stats.Cell(row.ExtraL1IPerKI))
+			stats.Cell(stats.SafeRatio(row.PollutedIPC, row.IdealIPC)), stats.Cell(row.ExtraL1IPerKI))
 	}
 	return rows, t, nil
 }

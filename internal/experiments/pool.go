@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"portsim/internal/config"
+	"portsim/internal/cpu"
+)
+
+// cell is one schedulable simulation of an experiment grid: a (machine,
+// workload) pair, a mutated profile, or an ad-hoc stream. Cells must be
+// independent and deterministic — the pool runs them in any order and
+// merges results by submission index.
+type cell func() (*cpu.Result, error)
+
+// runCell wraps the memoised Run as a cell.
+func (r *Runner) runCell(m config.Machine, workload string) cell {
+	return func() (*cpu.Result, error) { return r.Run(m, workload) }
+}
+
+// runAll executes cells on a bounded worker pool of r.Parallel() goroutines
+// and returns the results in submission order, so every consumer — table
+// rows, geomeans, ratio columns — sees exactly the sequence a serial run
+// would have produced. The first cell failure cancels cells that have not
+// started yet; in-flight simulations finish and are discarded. Errors are
+// aggregated in submission order, which with one worker degenerates to the
+// serial behaviour of returning the first failure alone.
+func (r *Runner) runAll(cells []cell) ([]*cpu.Result, error) {
+	n := len(cells)
+	results := make([]*cpu.Result, n)
+	cellErrs := make([]error, n)
+	workers := r.parallel
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				res, err := cells[i]()
+				if err != nil {
+					cellErrs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = res
+				r.noteProgress()
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		var errs []error
+		for _, err := range cellErrs {
+			if err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return nil, errors.Join(errs...)
+	}
+	return results, nil
+}

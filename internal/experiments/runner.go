@@ -1,13 +1,10 @@
-// Package experiments implements the paper's evaluation: one function per
-// reconstructed table or figure (see DESIGN.md's experiment index). Each
-// experiment builds machine variants, runs every workload through the
-// simulator, and renders a paper-style plain-text table plus typed rows for
-// programmatic checks. cmd/portbench and the repository benchmarks are thin
-// wrappers over this package.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"portsim/internal/config"
 	"portsim/internal/cpu"
@@ -24,6 +21,11 @@ type Spec struct {
 	Insts uint64
 	// Seed feeds every workload generator.
 	Seed int64
+	// Parallel bounds the number of simulations executing concurrently.
+	// Zero or negative selects runtime.GOMAXPROCS(0). Every simulation is
+	// deterministic and cells are merged in submission order, so the
+	// rendered tables are byte-identical at any parallelism level.
+	Parallel int
 }
 
 // DefaultSpec runs every workload at full length, the configuration behind
@@ -37,55 +39,114 @@ func QuickSpec() Spec {
 	return Spec{Workloads: []string{"compress", "eqntott", "database"}, Insts: 40_000, Seed: 42}
 }
 
+// memoEntry is one singleflight slot in the runner's memo cache: the first
+// caller of a key owns the simulation and everyone else blocks on done.
+type memoEntry struct {
+	done chan struct{}
+	res  *cpu.Result
+	err  error
+}
+
 // Runner executes simulations and memoises results, since several
-// experiments share machine configurations.
+// experiments share machine configurations. It is safe for concurrent use:
+// the memo cache is singleflight (a duplicate configuration waits for the
+// in-flight simulation instead of re-running it) and the work accumulators
+// are atomic.
 type Runner struct {
-	spec  Spec
-	cache map[string]*cpu.Result
+	spec     Spec
+	parallel int
+
+	mu    sync.Mutex
+	cache map[string]*memoEntry
+
 	// simCycles and simInsts accumulate over actual simulations only —
 	// memoised cache hits are excluded — so host-throughput reports
 	// (cmd/portbench) divide real simulated work by real wall time.
-	simCycles uint64
-	simInsts  uint64
+	simCycles atomic.Uint64
+	simInsts  atomic.Uint64
+
+	// progressMu serialises progress callbacks so a user-supplied sink
+	// (e.g. a terminal line) never sees interleaved or regressing counts.
+	progressMu sync.Mutex
+	doneCells  int
+	progress   func(done int)
 }
 
 // NewRunner returns a runner for the spec.
 func NewRunner(spec Spec) *Runner {
-	return &Runner{spec: spec, cache: make(map[string]*cpu.Result)}
+	parallel := spec.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{spec: spec, parallel: parallel, cache: make(map[string]*memoEntry)}
 }
 
 // Spec returns the runner's spec.
 func (r *Runner) Spec() Spec { return r.spec }
 
+// Parallel returns the effective worker count.
+func (r *Runner) Parallel() int { return r.parallel }
+
+// SetProgress installs a callback invoked with the cumulative number of
+// completed experiment cells. Calls are serialised; the callback must not
+// invoke the runner.
+func (r *Runner) SetProgress(fn func(done int)) {
+	r.progressMu.Lock()
+	r.progress = fn
+	r.progressMu.Unlock()
+}
+
+// noteProgress records one completed cell and notifies the callback.
+func (r *Runner) noteProgress() {
+	r.progressMu.Lock()
+	r.doneCells++
+	done, fn := r.doneCells, r.progress
+	if fn != nil {
+		fn(done)
+	}
+	r.progressMu.Unlock()
+}
+
 // SimulatedCycles returns the total simulated cycles across every
 // non-memoised run this runner has executed.
-func (r *Runner) SimulatedCycles() uint64 { return r.simCycles }
+func (r *Runner) SimulatedCycles() uint64 { return r.simCycles.Load() }
 
 // SimulatedInstructions returns the total committed instructions across
 // every non-memoised run this runner has executed.
-func (r *Runner) SimulatedInstructions() uint64 { return r.simInsts }
+func (r *Runner) SimulatedInstructions() uint64 { return r.simInsts.Load() }
 
 // Run simulates one workload on one machine, reusing a previous result for
-// the identical configuration.
+// the identical configuration. Concurrent calls with the same configuration
+// share one simulation: the first caller runs it, the rest wait for it.
 func (r *Runner) Run(m config.Machine, workloadName string) (*cpu.Result, error) {
 	cfgJSON, err := m.ToJSON()
 	if err != nil {
 		return nil, err
 	}
 	key := workloadName + "\x00" + string(cfgJSON)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
 	}
+	e := &memoEntry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+	func() {
+		defer close(e.done)
+		e.res, e.err = r.runWorkload(m, workloadName)
+	}()
+	return e.res, e.err
+}
+
+// runWorkload resolves a workload name and simulates it (no memoisation).
+func (r *Runner) runWorkload(m config.Machine, workloadName string) (*cpu.Result, error) {
 	prof, ok := workload.ByName(workloadName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", workloadName)
 	}
-	res, err := r.runProfile(m, prof)
-	if err != nil {
-		return nil, err
-	}
-	r.cache[key] = res
-	return res, nil
+	return r.runProfile(m, prof)
 }
 
 // runProfile simulates an explicit profile (used by the kernel-intensity
@@ -104,17 +165,15 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 	if err != nil {
 		return nil, err
 	}
-	// The deadline is a deadlock guard: no sane run needs 400 cycles per
-	// instruction.
 	res, err := c.Run(cpu.Options{
 		MaxInstructions: r.spec.Insts,
-		DeadlineCycles:  400 * r.spec.Insts,
+		DeadlineCycles:  cpu.DeadlineFor(r.spec.Insts),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err)
 	}
-	r.simCycles += res.Cycles
-	r.simInsts += res.Instructions
+	r.simCycles.Add(res.Cycles)
+	r.simInsts.Add(res.Instructions)
 	return res, nil
 }
 

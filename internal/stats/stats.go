@@ -43,6 +43,18 @@ func (s *Set) Names() []string {
 	return out
 }
 
+// SafeRatio returns num/den, or 0 when den is exactly zero. Every rate the
+// experiment harness renders (miss rates, mispredict rates, per-kI counts,
+// IPC ratios) divides by a quantity that is zero precisely when the
+// underlying counters never fired — a branch-free or memory-op-free cell —
+// and 0, not NaN or +Inf, is the value a table should show for "no events".
+func SafeRatio(num, den float64) float64 {
+	if den == 0 { //portlint:ignore floatcmp a zero denominator is the exact no-events case, not a rounding artefact
+		return 0
+	}
+	return num / den
+}
+
 // Ratio returns num/den as a float, or 0 when den is zero.
 func (s *Set) Ratio(num, den string) float64 {
 	d := s.counters[den]

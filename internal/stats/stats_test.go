@@ -224,3 +224,23 @@ func TestTableCSVNoTitleNoHeader(t *testing.T) {
 		t.Errorf("CSV = %q", got)
 	}
 }
+
+func TestSafeRatio(t *testing.T) {
+	cases := []struct {
+		num, den, want float64
+	}{
+		{1, 2, 0.5},
+		{3, 0, 0}, // branch-free cell: no NaN
+		{0, 0, 0}, // fully empty counters
+		{-4, 2, -2},
+		{5, 0.5, 10},
+	}
+	for _, c := range cases {
+		if got := SafeRatio(c.num, c.den); got != c.want {
+			t.Errorf("SafeRatio(%v, %v) = %v, want %v", c.num, c.den, got, c.want)
+		}
+	}
+	if got := SafeRatio(1, 0); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("SafeRatio(1, 0) = %v; must be finite", got)
+	}
+}

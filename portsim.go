@@ -134,12 +134,8 @@ func (s *Simulation) Run(maxInstructions uint64) (*Result, error) {
 		return nil, fmt.Errorf("portsim: simulation already ran; create a new one")
 	}
 	s.done = true
-	deadline := uint64(0)
-	if maxInstructions > 0 {
-		deadline = 400 * maxInstructions
-	}
 	return s.core.Run(cpu.Options{
 		MaxInstructions: maxInstructions,
-		DeadlineCycles:  deadline,
+		DeadlineCycles:  cpu.DeadlineFor(maxInstructions),
 	})
 }
