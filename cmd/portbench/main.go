@@ -5,11 +5,20 @@
 // Usage:
 //
 //	portbench [-quick] [-insts n] [-seed n] [-only T1,F6,...] [-csv]
-//	          [-parallel n] [-progress]
+//	          [-parallel n] [-progress] [-flightrec]
+//	          [-inject mode:workload[:after]] [-repro-dir dir]
+//	portbench -repro bundle.json
 //
 // Simulations run on a bounded worker pool (-parallel, default GOMAXPROCS);
 // results are merged in submission order, so every table is byte-identical
 // to a -parallel 1 run.
+//
+// Experiment cells are crash-contained: a failed cell (panic, deadline,
+// watchdog stall) fails its experiment but the suite continues, rendering
+// every healthy table. Each distinct cell failure is reported once with its
+// machine configuration, stack and flight-recorder tail, and a JSON repro
+// bundle is written next to the run (-repro-dir); `portbench -repro` replays
+// a bundle deterministically with the flight recorder armed.
 package main
 
 import (
@@ -17,9 +26,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"portsim/internal/diag"
 	"portsim/internal/experiments"
 	"portsim/internal/stats"
 )
@@ -35,16 +46,23 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("portbench", flag.ContinueOnError)
 	var (
-		quick    = fs.Bool("quick", false, "reduced workload set and instruction budget")
-		insts    = fs.Uint64("insts", 0, "override the committed-instruction budget per run")
-		seed     = fs.Int64("seed", 42, "workload generator seed")
-		only     = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
-		csv      = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		parallel = fs.Int("parallel", 0, "concurrent simulations (<=0: GOMAXPROCS); tables are byte-identical at any setting")
-		progress = fs.Bool("progress", false, "report completed simulation cells on stderr")
+		quick     = fs.Bool("quick", false, "reduced workload set and instruction budget")
+		insts     = fs.Uint64("insts", 0, "override the committed-instruction budget per run")
+		seed      = fs.Int64("seed", 42, "workload generator seed")
+		only      = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+		csv       = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		parallel  = fs.Int("parallel", 0, "concurrent simulations (<=0: GOMAXPROCS); tables are byte-identical at any setting")
+		progress  = fs.Bool("progress", false, "report completed simulation cells on stderr")
+		flightrec = fs.Bool("flightrec", false, "arm the per-cell pipeline flight recorder (failure forensics)")
+		inject    = fs.String("inject", "", "poison one workload's cells: mode:workload[:after] with mode panic|badinst|wedge")
+		repro     = fs.String("repro", "", "replay a repro bundle file instead of running the suite")
+		reproDir  = fs.String("repro-dir", ".", "directory for repro bundles written on cell failure")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *repro != "" {
+		return runRepro(*repro, out)
 	}
 
 	spec := experiments.DefaultSpec()
@@ -56,6 +74,14 @@ func run(args []string, out io.Writer) error {
 	}
 	spec.Seed = *seed
 	spec.Parallel = *parallel
+	spec.FlightRecorder = *flightrec
+	if *inject != "" {
+		fault, err := experiments.ParseFault(*inject)
+		if err != nil {
+			return err
+		}
+		spec.Fault = fault
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -101,13 +127,22 @@ func run(args []string, out io.Writer) error {
 		{"A8", func() (*stats.Table, error) { _, t, err := experiments.A8WrongPathFetch(runner); return t, err }},
 	}
 	ran := 0
+	var failed []string
+	var failures []error
 	for _, e := range suite {
 		if !want(e.id) {
 			continue
 		}
 		table, err := e.run()
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			// One poisoned cell must not abandon the campaign: record the
+			// failure, keep rendering every healthy table, and report the
+			// forensics (with repro bundles) after the suite.
+			failed = append(failed, e.id)
+			failures = append(failures, fmt.Errorf("%s: %w", e.id, err))
+			fmt.Fprintf(out, "%s: FAILED: %v\n\n", e.id, err)
+			ran++
+			continue
 		}
 		if *csv {
 			fmt.Fprintln(out, table.CSV())
@@ -139,5 +174,86 @@ func run(args []string, out io.Writer) error {
 			float64(runner.SimulatedCycles())/secs/1e6,
 			float64(runner.SimulatedInstructions())/secs/1e6)
 	}
+	if len(failures) > 0 {
+		cells := reportFailures(out, failures, spec, *reproDir)
+		return fmt.Errorf("%d experiment(s) failed (%s) with %d distinct cell failure(s)",
+			len(failed), strings.Join(failed, ","), cells)
+	}
+	return nil
+}
+
+// reportFailures prints each distinct cell failure's forensic detail and
+// writes its repro bundle, returning the distinct-cell count. The memo
+// cache shares one CellError across every experiment that touched the dead
+// cell, so deduplication is by CellError identity.
+func reportFailures(out io.Writer, failures []error, spec experiments.Spec, reproDir string) int {
+	var distinct []*experiments.CellError
+	seen := map[*experiments.CellError]bool{}
+	for _, err := range failures {
+		for _, ce := range experiments.CellErrors(err) {
+			if !seen[ce] {
+				seen[ce] = true
+				distinct = append(distinct, ce)
+			}
+		}
+	}
+	for _, ce := range distinct {
+		fmt.Fprintf(out, "\n%s\n", ce.Detail())
+		name := fmt.Sprintf("portbench-repro-%s-%s.json", sanitizeName(ce.Machine.Name), sanitizeName(ce.Workload))
+		path := filepath.Join(reproDir, name)
+		bundle, err := experiments.BundleFor(ce, spec).Encode()
+		if err != nil {
+			fmt.Fprintf(out, "repro bundle not written: %v\n", err)
+			continue
+		}
+		if err := os.WriteFile(path, bundle, 0o644); err != nil {
+			fmt.Fprintf(out, "repro bundle not written: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(out, "repro bundle written: %s (replay with: portbench -repro %s)\n", path, path)
+	}
+	return len(distinct)
+}
+
+// sanitizeName makes a machine or workload name safe as a filename chunk.
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+// runRepro replays a repro bundle with the flight recorder armed and prints
+// a deterministic report: the failure headline (with the stall diagnosis
+// when the watchdog fired) and the flight-recorder tail. Stack traces are
+// deliberately omitted — they carry goroutine ids and addresses that vary
+// run to run, and the original failure report already included one. The
+// command exits non-zero when the failure reproduces.
+func runRepro(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	bundle, err := experiments.ParseBundle(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replaying %s: %s on %s (seed %d, %d insts)\n",
+		path, bundle.Workload, bundle.Machine.Name, bundle.Seed, bundle.Insts)
+	res, err := bundle.Replay()
+	if err != nil {
+		for _, ce := range experiments.CellErrors(err) {
+			fmt.Fprintf(out, "\nCELL ERROR: %s\n%s\n", ce.Error(), diag.FormatEvents(ce.Events))
+		}
+		return fmt.Errorf("failure reproduced: %w", err)
+	}
+	fmt.Fprintf(out, "did not reproduce: completed %d instructions in %d cycles (IPC %.3f)\n",
+		res.Instructions, res.Cycles, res.IPC)
 	return nil
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"portsim/internal/config"
+	"portsim/internal/experiments"
+)
+
+// TestInjectRendersHealthyTablesAndReportsOneCell is the CLI containment
+// contract: with one poisoned workload, the suite exits non-zero, the
+// healthy experiments still render, and exactly one cell failure is
+// reported — with configuration, diagnosis and a repro bundle.
+func TestInjectRendersHealthyTablesAndReportsOneCell(t *testing.T) {
+	dir := t.TempDir()
+	out, err := runPB(t, "-quick", "-insts", "4000", "-only", "T1,T2",
+		"-inject", "wedge:eqntott", "-repro-dir", dir)
+	if err == nil || !strings.Contains(err.Error(), "experiment(s) failed") {
+		t.Fatalf("err = %v, want suite failure", err)
+	}
+	if !strings.Contains(out, "T1: baseline machine parameters") {
+		t.Error("healthy T1 table missing from a failed run")
+	}
+	if !strings.Contains(out, "T2: FAILED:") {
+		t.Error("poisoned T2 not marked FAILED")
+	}
+	if n := strings.Count(out, "CELL ERROR:"); n != 1 {
+		t.Errorf("%d CELL ERROR reports, want exactly 1:\n%s", n, out)
+	}
+	if !strings.Contains(out, "store buffer full") {
+		t.Error("stall diagnosis does not name the wedged store buffer")
+	}
+	if !strings.Contains(out, `"fault_stuck_drain": true`) {
+		t.Error("reported machine configuration lost the fault knob")
+	}
+	if !strings.Contains(out, "flight-recorder events") {
+		t.Error("flight-recorder tail missing from the cell report")
+	}
+	if !strings.Contains(out, "repro bundle written:") {
+		t.Error("no repro bundle announced")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "portbench-repro-*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("%d repro bundles on disk, want 1: %v", len(matches), matches)
+	}
+	if _, err := os.Stat(matches[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReproReplaysDeterministically replays a just-written bundle twice and
+// requires byte-identical output and a reproduced-failure exit.
+func TestReproReplaysDeterministically(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := runPB(t, "-quick", "-insts", "4000", "-only", "T2",
+		"-inject", "wedge:eqntott", "-repro-dir", dir); err == nil {
+		t.Fatal("setup: poisoned run did not fail")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "portbench-repro-*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("setup: %d bundles, want 1", len(matches))
+	}
+
+	first, err1 := runPB(t, "-repro", matches[0])
+	second, err2 := runPB(t, "-repro", matches[0])
+	for _, err := range []error{err1, err2} {
+		if err == nil || !strings.Contains(err.Error(), "failure reproduced") {
+			t.Fatalf("replay err = %v, want failure reproduced", err)
+		}
+	}
+	if first != second {
+		t.Errorf("replay output not deterministic:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	if !strings.Contains(first, "CELL ERROR:") || !strings.Contains(first, "flight-recorder events") {
+		t.Errorf("replay report incomplete:\n%s", first)
+	}
+}
+
+// TestReproOnHealthyBundleReportsClean replays a bundle with no fault and
+// expects a clean did-not-reproduce exit.
+func TestReproOnHealthyBundleReportsClean(t *testing.T) {
+	b := &experiments.Bundle{
+		Version:  experiments.BundleVersion,
+		Machine:  config.Baseline(),
+		Workload: "compress",
+		Seed:     42,
+		Insts:    2_000,
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clean.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runPB(t, "-repro", path)
+	if err != nil {
+		t.Fatalf("healthy replay failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "did not reproduce") {
+		t.Errorf("healthy replay output:\n%s", out)
+	}
+}
+
+// TestInjectFlagValidation covers the -inject and -repro error paths.
+func TestInjectFlagValidation(t *testing.T) {
+	if _, err := runPB(t, "-quick", "-inject", "frob:compress"); err == nil || !strings.Contains(err.Error(), "unknown fault mode") {
+		t.Errorf("bad -inject mode: err = %v", err)
+	}
+	if _, err := runPB(t, "-repro", filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing -repro file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runPB(t, "-repro", garbage); err == nil || !strings.Contains(err.Error(), "parsing repro bundle") {
+		t.Errorf("garbage bundle: err = %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package portsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"portsim"
+)
+
+// TestNilStreamRejected pins the public-API hardening: a nil stream is
+// reported at construction, not as a panic mid-run.
+func TestNilStreamRejected(t *testing.T) {
+	sim, err := portsim.NewFromStream(portsim.BaselineConfig(), nil)
+	if err == nil || !strings.Contains(err.Error(), "nil instruction stream") {
+		t.Fatalf("NewFromStream(nil) = %v, %v; want nil-stream error", sim, err)
+	}
+}
+
+// TestUnboundedRunOnEndlessGeneratorRejected pins the other foot-gun: the
+// built-in workload generators never end, so Run(0) would never return.
+func TestUnboundedRunOnEndlessGeneratorRejected(t *testing.T) {
+	sim, err := portsim.New(portsim.BaselineConfig(), "compress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(0); err == nil || !strings.Contains(err.Error(), "maxInstructions must be positive") {
+		t.Fatalf("Run(0) on an endless generator = %v; want the unbounded-run error", err)
+	}
+	// The rejected call must not consume the simulation.
+	if res, err := sim.Run(2_000); err != nil || res.Instructions != 2_000 {
+		t.Fatalf("bounded Run after rejected Run(0): %v, %v", res, err)
+	}
+}
+
+// TestCustomProfileUnboundedRejected checks NewFromProfile marks the
+// simulation endless too.
+func TestCustomProfileUnboundedRejected(t *testing.T) {
+	prof, ok := portsim.WorkloadByName("compress")
+	if !ok {
+		t.Fatal("compress missing")
+	}
+	sim, err := portsim.NewFromProfile(portsim.BaselineConfig(), prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(0); err == nil {
+		t.Fatal("Run(0) on a profile-backed endless generator accepted")
+	}
+}

@@ -186,6 +186,13 @@ type Ports struct {
 	PrefetchNextLine bool `json:"prefetch_next_line"`
 	// PrefetchDegree is how many sequential lines each miss prefetches.
 	PrefetchDegree int `json:"prefetch_degree"`
+	// FaultStuckDrain is a fault-injection knob for robustness testing,
+	// not a machine feature: when set, the store buffer never drains, so
+	// it fills, commit wedges behind the oldest store, and the forward-
+	// progress watchdog must catch and diagnose the stall. It lives in
+	// the configuration (rather than test scaffolding) so a repro bundle
+	// carries the wedge with it and replays identically.
+	FaultStuckDrain bool `json:"fault_stuck_drain,omitempty"`
 }
 
 // Machine is the complete configuration of one simulated machine.

@@ -1,0 +1,61 @@
+package config
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMachineValidate feeds arbitrary JSON through the configuration
+// boundary the repro-bundle loader depends on: FromJSON must never panic,
+// anything it accepts must Validate (it already validated once, but the
+// invariant is what ParseBundle relies on), and an accepted machine must
+// survive a ToJSON/FromJSON round trip unchanged — otherwise a repro bundle
+// would not rebuild the failed cell exactly.
+func FuzzMachineValidate(f *testing.F) {
+	// Seed corpus: every preset, plus structural edge cases.
+	for _, m := range []Machine{Baseline(), DualPort(), QuadPort(), BestSingle()} {
+		m := m
+		data, err := m.ToJSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	wedged := Baseline()
+	wedged.Ports.FaultStuckDrain = true
+	if data, err := wedged.ToJSON(); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x"}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"core":{"rob_entries":-1}}`))
+	f.Add([]byte(`{"ports":{"count":999,"width_bytes":3}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := FromJSON(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("FromJSON accepted a machine that fails Validate: %v\ninput: %s", verr, data)
+		}
+		out, err := m.ToJSON()
+		if err != nil {
+			t.Fatalf("accepted machine does not serialise: %v", err)
+		}
+		back, err := FromJSON(out)
+		if err != nil {
+			t.Fatalf("round trip rejected our own ToJSON output: %v\njson: %s", err, out)
+		}
+		out2, err := back.ToJSON()
+		if err != nil {
+			t.Fatalf("round-tripped machine does not serialise: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("ToJSON not stable across a round trip:\nfirst:  %s\nsecond: %s", out, out2)
+		}
+	})
+}

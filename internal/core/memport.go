@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"portsim/internal/config"
+	"portsim/internal/diag"
 	"portsim/internal/mem"
 	"portsim/internal/stats"
 )
@@ -121,6 +122,10 @@ type MemPort struct {
 	cycles            uint64
 	busyGrants        uint64 // total grants, for utilisation
 	grantHist         *stats.Histogram
+
+	// rec is the optional flight recorder (nil when disabled); it sees
+	// store-drain grants, the port-side events the core cannot observe.
+	rec *diag.Recorder
 }
 
 // refillWindow is a scheduled array write: starting at `at`, the port (or,
@@ -167,6 +172,10 @@ func NewMemPort(cfg config.Ports, sys *mem.System) *MemPort {
 	}
 	return p
 }
+
+// SetRecorder installs (or, with nil, removes) a flight recorder for
+// port-side events.
+func (p *MemPort) SetRecorder(rec *diag.Recorder) { p.rec = rec }
 
 // LineBuffers exposes the load-all buffer set (statistics, tests).
 func (p *MemPort) LineBuffers() *LineBufferSet { return p.lbs }
@@ -399,6 +408,9 @@ func (p *MemPort) EndCycle(now uint64) {
 // so subsequent stores can merge into it; it drains once the buffer passes
 // quarter occupancy or the entry ages out.
 func (p *MemPort) drainStores(now uint64) {
+	if p.cfg.FaultStuckDrain {
+		return // injected fault: the drain path is wedged shut
+	}
 	for p.portFree() {
 		e := p.sb.NextDrain()
 		if e == nil {
@@ -423,6 +435,7 @@ func (p *MemPort) drainStores(now uint64) {
 		p.storePortAccesses++
 		p.noteMiss(e.ChunkAddr, r)
 		p.sb.MarkIssued(e, r.Ready)
+		p.rec.Record(now, diag.EventDrain, e.seq, e.ChunkAddr)
 	}
 }
 
@@ -477,6 +490,11 @@ func (p *MemPort) PendingStores() int { return p.sb.Len() }
 // needed, and returns the cycle the last write completes. Used at the end of
 // a simulation so every committed store is accounted.
 func (p *MemPort) DrainAll(now uint64) uint64 {
+	if p.cfg.FaultStuckDrain {
+		// The injected wedge would make this loop spin forever; the
+		// un-drained stores are exactly the failure under study.
+		return now
+	}
 	last := now
 	for p.sb.Len() > 0 {
 		p.BeginCycle(now)

@@ -25,6 +25,7 @@ import (
 	"portsim/internal/bpred"
 	"portsim/internal/config"
 	"portsim/internal/core"
+	"portsim/internal/diag"
 	"portsim/internal/isa"
 	"portsim/internal/mem"
 	"portsim/internal/stats"
@@ -83,7 +84,27 @@ type Options struct {
 	// DeadlineCycles aborts the run with an error if the cycle count
 	// exceeds it — a guard against model deadlocks. Zero disables it.
 	DeadlineCycles uint64
+	// StallCycles is the forward-progress watchdog: if no instruction
+	// commits for this many consecutive cycles the run aborts with an
+	// error wrapping ErrStall that names the wedged resource (see
+	// Core.StallDiagnosis). Zero disables the watchdog. Unlike
+	// DeadlineCycles, which scales with the whole instruction budget, the
+	// watchdog bounds a single commit gap, so it catches a wedge within
+	// tens of thousands of cycles instead of hundreds of millions.
+	StallCycles uint64
+	// Recorder, when non-nil, receives cycle-stamped pipeline events
+	// (fetch, issue, port grants, store drains, commits, stalls) for
+	// failure forensics. A nil recorder costs one nil test per event
+	// site.
+	Recorder *diag.Recorder
 }
+
+// DefaultStallCycles is the watchdog threshold the experiment engine arms.
+// The longest legitimate commit gap in this model is a dependent chain of
+// DRAM-latency misses plus a full store-buffer drain — well under a
+// thousand cycles for every valid configuration — so fifty thousand cycles
+// without a commit can only be a wedge.
+const DefaultStallCycles = 50_000
 
 // deadlineCyclesPerInst is the deadlock-guard budget: no sane run needs
 // 400 cycles per committed instruction.
@@ -168,6 +189,9 @@ type Core struct {
 	// abort immediately.
 	lastCommitSeq uint64
 
+	// rec is the optional flight recorder (nil when disabled).
+	rec *diag.Recorder
+
 	// Statistics.
 	loads, stores, branches, mispredicts uint64
 	memViolations                        uint64
@@ -181,6 +205,9 @@ type Core struct {
 // New builds a core from a validated machine configuration and an
 // instruction stream.
 func New(cfg *config.Machine, stream trace.Stream) (*Core, error) {
+	if stream == nil {
+		return nil, errors.New("cpu: nil instruction stream")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -232,18 +259,35 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 // a model deadlock or a grossly underestimated deadline.
 var ErrDeadline = errors.New("cpu: deadline exceeded; possible pipeline deadlock")
 
+// ErrStall reports that the forward-progress watchdog fired: no instruction
+// committed for Options.StallCycles consecutive cycles.
+var ErrStall = errors.New("cpu: no forward progress")
+
 // Run simulates until the stream ends or opts.MaxInstructions commit, then
 // drains the pipeline and the store buffer, and returns the result.
 func (c *Core) Run(opts Options) (*Result, error) {
 	c.maxInsts = opts.MaxInstructions
+	c.rec = opts.Recorder
+	c.port.SetRecorder(opts.Recorder)
+	lastProgress := c.cycle
+	lastCommitted := c.committed
 	for {
 		if c.drained() {
 			break
 		}
 		if opts.DeadlineCycles > 0 && c.cycle > opts.DeadlineCycles {
-			return nil, fmt.Errorf("%w (cycle %d, committed %d)", ErrDeadline, c.cycle, c.committed)
+			return nil, fmt.Errorf("%w (cycle %d, committed %d): %s",
+				ErrDeadline, c.cycle, c.committed, c.StallDiagnosis())
+		}
+		if opts.StallCycles > 0 && c.cycle > lastProgress && c.cycle-lastProgress > opts.StallCycles {
+			return nil, fmt.Errorf("%w (no commit since cycle %d; now cycle %d, committed %d): %s",
+				ErrStall, lastProgress, c.cycle, c.committed, c.StallDiagnosis())
 		}
 		c.step()
+		if c.committed != lastCommitted {
+			lastCommitted = c.committed
+			lastProgress = c.cycle
+		}
 	}
 	// Account the final store-buffer drain.
 	if c.port.PendingStores() > 0 {
@@ -354,6 +398,7 @@ func (c *Core) commit() {
 		if e.inst.Class == isa.Store {
 			if !c.port.TryCommitStore(c.cycle, e.inst.Addr, int(e.inst.Size)) {
 				c.commitStallSB++
+				c.rec.Record(c.cycle, diag.EventStall, e.seq, e.inst.Addr)
 				return
 			}
 		}
@@ -371,6 +416,7 @@ func (c *Core) retire(e *robEntry) {
 		panic(fmt.Sprintf("cpu: commit out of order: seq %d after %d", e.seq, c.lastCommitSeq))
 	}
 	c.lastCommitSeq = e.seq
+	c.rec.Record(c.cycle, diag.EventCommit, e.seq, e.inst.PC)
 	in := &e.inst
 	if e.prevPhys >= 0 {
 		if in.Dest.IsFP() {

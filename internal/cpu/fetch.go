@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"portsim/internal/diag"
 	"portsim/internal/isa"
 )
 
@@ -66,6 +67,7 @@ func (c *Core) fetch() {
 			c.predict(&f)
 		}
 		c.fetchBuf = append(c.fetchBuf, f)
+		c.rec.Record(c.cycle, diag.EventFetch, f.seq, in.PC)
 		fetched++
 		if f.mispredicted || f.serialize {
 			// Fetch stops until this instruction resolves (branch)

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"portsim/internal/diag"
 	"portsim/internal/isa"
 )
 
@@ -246,6 +247,7 @@ func (c *Core) start(e *robEntry, fu *fuState, doneAt uint64) {
 	e.state = stateIssued
 	e.doneAt = doneAt
 	c.setDestReady(e, doneAt)
+	c.rec.Record(c.cycle, diag.EventIssue, e.seq, e.inst.Addr)
 	fu.issued++
 	switch {
 	case e.inst.Class == isa.Load || e.inst.Class == isa.Store:
@@ -385,8 +387,10 @@ func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
 	}
 	r := c.port.TryLoad(c.cycle, in.Addr, int(in.Size))
 	if !r.Accepted {
+		c.rec.Record(c.cycle, diag.EventReject, e.seq, in.Addr)
 		return // port busy, MSHRs full, or store-buffer conflict: retry
 	}
+	c.rec.Record(c.cycle, diag.EventGrant, e.seq, in.Addr)
 	fu.memOps++
 	c.start(e, fu, r.Ready)
 }

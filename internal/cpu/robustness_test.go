@@ -1,0 +1,191 @@
+package cpu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"portsim/internal/config"
+	"portsim/internal/diag"
+	"portsim/internal/isa"
+	"portsim/internal/trace"
+)
+
+// TestNewRejectsNilStream pins the constructor hardening: a nil stream is a
+// caller bug reported as an error, not a panic 40k cycles later.
+func TestNewRejectsNilStream(t *testing.T) {
+	m := config.Baseline()
+	c, err := New(&m, nil)
+	if err == nil || !strings.Contains(err.Error(), "nil instruction stream") {
+		t.Fatalf("New(nil stream) = %v, %v; want nil-stream error", c, err)
+	}
+}
+
+// TestRetirePanicsOnOutOfOrderCommit covers the ROB's in-order invariant
+// guard: retiring a sequence number at or below the last commit must abort.
+func TestRetirePanicsOnOutOfOrderCommit(t *testing.T) {
+	m := config.Baseline()
+	c, err := New(&m, trace.NewSliceStream(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		p := recover() //portlint:ignore recoverhygiene test asserts the panic fires
+		if p == nil {
+			t.Fatal("out-of-order retire did not panic")
+		}
+		if msg, ok := p.(string); !ok || !strings.Contains(msg, "commit out of order") {
+			t.Errorf("panic %v, want the commit-order message", p)
+		}
+	}()
+	// lastCommitSeq starts at 0 and seq 0 is never a legal commit, so this
+	// is the smallest out-of-order retire.
+	c.retire(&robEntry{seq: 0})
+}
+
+// wedgedStoreProgram is a store burst against a machine whose store buffer
+// never drains: commit must wedge once the buffer fills.
+func wedgedStoreProgram() (config.Machine, []isa.Inst) {
+	m := config.Baseline()
+	m.Ports.FaultStuckDrain = true
+	var insts []isa.Inst
+	for i := 0; i < 64; i++ {
+		insts = append(insts, isa.Inst{
+			PC:    uint64(0x1000 + (i%8)*4),
+			Class: isa.Store,
+			Src1:  isa.Reg(1 + i%20),
+			Addr:  uint64(0x2000 + i*64),
+			Size:  8,
+		})
+	}
+	return m, insts
+}
+
+// TestWatchdogDiagnosesWedgedStoreBuffer drives the forward-progress
+// watchdog end to end: a store buffer that never drains trips ErrStall and
+// the diagnosis names the store buffer, not a bare timeout.
+func TestWatchdogDiagnosesWedgedStoreBuffer(t *testing.T) {
+	m, insts := wedgedStoreProgram()
+	c, err := New(&m, trace.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := diag.NewRecorder(0)
+	_, err = c.Run(Options{StallCycles: 2_000, Recorder: rec})
+	if !errors.Is(err, ErrStall) {
+		t.Fatalf("err = %v, want ErrStall", err)
+	}
+	if !strings.Contains(err.Error(), "store buffer full") {
+		t.Errorf("diagnosis %q does not name the wedged store buffer", err)
+	}
+	if !strings.Contains(err.Error(), "no commit since cycle") {
+		t.Errorf("diagnosis %q does not report the progress horizon", err)
+	}
+	// The recorder saw the commit-stall events leading up to the abort.
+	var stalls int
+	for _, e := range rec.Events() {
+		if e.Kind == diag.EventStall {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Errorf("flight recorder captured no commit-stall events; total=%d", rec.Total())
+	}
+}
+
+// TestDeadlineDiagnosesWedgedStoreBuffer checks the deadline guard carries
+// the same diagnosis when it fires first.
+func TestDeadlineDiagnosesWedgedStoreBuffer(t *testing.T) {
+	m, insts := wedgedStoreProgram()
+	c, err := New(&m, trace.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(Options{DeadlineCycles: 1_000})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !strings.Contains(err.Error(), "store buffer full") {
+		t.Errorf("deadline diagnosis %q does not name the wedged store buffer", err)
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun checks the watchdog never fires on a clean
+// workload at the default threshold.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	m := config.Baseline()
+	insts := prog([]isa.Class{isa.Load, isa.IntALU, isa.Store, isa.IntALU}, []uint64{0x2000, 0x2008})
+	c, err := New(&m, trace.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Options{StallCycles: DefaultStallCycles, DeadlineCycles: 1_000_000}); err != nil {
+		t.Fatalf("healthy run tripped a guard: %v", err)
+	}
+}
+
+// TestStallDiagnosisOnDrainedCore checks the healthy-core rendering.
+func TestStallDiagnosisOnDrainedCore(t *testing.T) {
+	m := config.Baseline()
+	c, err := New(&m, trace.NewSliceStream(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.StallDiagnosis(); !strings.Contains(d, "instruction stream ended") {
+		t.Errorf("drained-core diagnosis = %q", d)
+	}
+}
+
+// TestFlightRecorderCapturesPipelineEvents runs a short program with the
+// recorder armed and checks the event mix covers fetch through commit.
+func TestFlightRecorderCapturesPipelineEvents(t *testing.T) {
+	m := config.Baseline()
+	insts := prog([]isa.Class{isa.Load, isa.IntALU, isa.Store, isa.IntALU}, []uint64{0x2000, 0x2008})
+	c, err := New(&m, trace.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := diag.NewRecorder(0)
+	if _, err := c.Run(Options{Recorder: rec}); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[diag.EventKind]int{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+	}
+	for _, want := range []diag.EventKind{diag.EventFetch, diag.EventIssue, diag.EventCommit} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s events recorded; kinds = %v", want, kinds)
+		}
+	}
+	if kinds[diag.EventCommit] != len(insts) {
+		t.Errorf("%d commit events for %d instructions", kinds[diag.EventCommit], len(insts))
+	}
+}
+
+// TestRunWithoutRecorderMatchesRecordedRun is the zero-overhead-when-disabled
+// guarantee in its observable form: the recorder must not perturb timing.
+func TestRunWithoutRecorderMatchesRecordedRun(t *testing.T) {
+	m := config.Baseline()
+	insts := prog([]isa.Class{isa.Load, isa.Store, isa.IntALU, isa.Load}, []uint64{0x2000, 0x2008, 0x2010})
+	runWith := func(rec *diag.Recorder) *Result {
+		t.Helper()
+		c, err := New(&m, trace.NewSliceStream(insts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(Options{Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, recorded := runWith(nil), runWith(diag.NewRecorder(0))
+	if plain.Cycles != recorded.Cycles || plain.Instructions != recorded.Instructions {
+		t.Errorf("recorder perturbed the simulation: %d cycles/%d insts vs %d/%d",
+			plain.Cycles, plain.Instructions, recorded.Cycles, recorded.Instructions)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -167,26 +168,66 @@ func TestRunAllPreservesSubmissionOrder(t *testing.T) {
 	}
 }
 
-// TestRunAllCancelsOnFailure checks that a failing cell aborts the batch,
-// surfaces its error, and stops cells that have not started.
-func TestRunAllCancelsOnFailure(t *testing.T) {
+// TestRunAllRunsToCompletion checks the crash-containment batch contract:
+// a failing cell must not abandon the rest of the batch. Every cell runs,
+// the failure is surfaced in the aggregated error, and the healthy cells'
+// results come back alongside it so callers can render a partial table.
+func TestRunAllRunsToCompletion(t *testing.T) {
 	r := NewRunner(Spec{Workloads: []string{"compress"}, Insts: 1, Seed: 1, Parallel: 1})
 	var ran []int
 	cells := []cell{
-		func() (*cpu.Result, error) { ran = append(ran, 0); return &cpu.Result{}, nil },
+		func() (*cpu.Result, error) { ran = append(ran, 0); return &cpu.Result{Instructions: 10}, nil },
 		func() (*cpu.Result, error) { ran = append(ran, 1); return nil, fmt.Errorf("cell 1 exploded") },
-		func() (*cpu.Result, error) { ran = append(ran, 2); return &cpu.Result{}, nil },
+		func() (*cpu.Result, error) { ran = append(ran, 2); return &cpu.Result{Instructions: 30}, nil },
 	}
 	results, err := r.runAll(cells)
 	if err == nil || !strings.Contains(err.Error(), "cell 1 exploded") {
 		t.Fatalf("err = %v, want the cell failure", err)
 	}
-	if results != nil {
-		t.Error("failed batch still returned results")
+	// With one worker, execution is in order and continues past the failure.
+	if !reflect.DeepEqual(ran, []int{0, 1, 2}) {
+		t.Errorf("cells run = %v, want all three despite the failure", ran)
 	}
-	// With one worker, execution is in order and stops at the failure.
-	if !reflect.DeepEqual(ran, []int{0, 1}) {
-		t.Errorf("cells run after failure: %v", ran)
+	if len(results) != 3 {
+		t.Fatalf("%d results for 3 cells", len(results))
+	}
+	if results[0] == nil || results[0].Instructions != 10 {
+		t.Errorf("healthy cell 0 result missing from failed batch: %v", results[0])
+	}
+	if results[1] != nil {
+		t.Errorf("failed cell 1 produced a result: %v", results[1])
+	}
+	if results[2] == nil || results[2].Instructions != 30 {
+		t.Errorf("healthy cell 2 result missing from failed batch: %v", results[2])
+	}
+}
+
+// TestRunAllContainsCellPanic checks the pool's last line of defence: a
+// panic inside a cell closure becomes a CellError instead of killing the
+// process, and the other cells still complete.
+func TestRunAllContainsCellPanic(t *testing.T) {
+	r := NewRunner(Spec{Workloads: []string{"compress"}, Insts: 1, Seed: 1, Parallel: 2})
+	cells := []cell{
+		func() (*cpu.Result, error) { return &cpu.Result{Instructions: 10}, nil },
+		func() (*cpu.Result, error) { panic("synthetic cell panic") },
+		func() (*cpu.Result, error) { return &cpu.Result{Instructions: 30}, nil },
+	}
+	results, err := r.runAll(cells)
+	if err == nil || !errors.Is(err, ErrCellPanic) {
+		t.Fatalf("err = %v, want ErrCellPanic", err)
+	}
+	ces := CellErrors(err)
+	if len(ces) != 1 {
+		t.Fatalf("%d CellErrors, want exactly 1", len(ces))
+	}
+	if !strings.Contains(ces[0].Error(), "synthetic cell panic") {
+		t.Errorf("CellError %q does not name the panic value", ces[0].Error())
+	}
+	if ces[0].Stack == "" {
+		t.Error("contained panic carries no stack trace")
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Errorf("healthy cells lost: results = %v", results)
 	}
 }
 

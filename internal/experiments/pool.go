@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -20,13 +22,33 @@ func (r *Runner) runCell(m config.Machine, workload string) cell {
 	return func() (*cpu.Result, error) { return r.Run(m, workload) }
 }
 
+// runCellContained executes one cell with a panic backstop. The runner's
+// own simulation path (runStream) already contains panics with full cell
+// context; this catches panics in the cell closures themselves — the last
+// line of defence keeping a worker goroutine's panic from killing the whole
+// process.
+func runCellContained(c cell) (res *cpu.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = &CellError{
+				Stack: string(debug.Stack()),
+				Err:   fmt.Errorf("%w: %v", ErrCellPanic, p),
+			}
+		}
+	}()
+	return c()
+}
+
 // runAll executes cells on a bounded worker pool of r.Parallel() goroutines
 // and returns the results in submission order, so every consumer — table
 // rows, geomeans, ratio columns — sees exactly the sequence a serial run
-// would have produced. The first cell failure cancels cells that have not
-// started yet; in-flight simulations finish and are discarded. Errors are
-// aggregated in submission order, which with one worker degenerates to the
-// serial behaviour of returning the first failure alone.
+// would have produced. Every cell runs to completion even when others fail:
+// one poisoned cell must not abandon the rest of a long campaign, and the
+// memo cache makes a retried duplicate cheap anyway. Cell failures are
+// aggregated (in submission order) into the returned error; the partial
+// results are returned alongside so callers that can render a healthy
+// subset may do so.
 func (r *Runner) runAll(cells []cell) ([]*cpu.Result, error) {
 	n := len(cells)
 	results := make([]*cpu.Result, n)
@@ -36,9 +58,8 @@ func (r *Runner) runAll(cells []cell) ([]*cpu.Result, error) {
 		workers = n
 	}
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -46,14 +67,13 @@ func (r *Runner) runAll(cells []cell) ([]*cpu.Result, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n {
 					return
 				}
-				res, err := cells[i]()
+				res, err := runCellContained(cells[i])
 				if err != nil {
 					cellErrs[i] = err
-					failed.Store(true)
-					return
+					continue
 				}
 				results[i] = res
 				r.noteProgress()
@@ -61,14 +81,14 @@ func (r *Runner) runAll(cells []cell) ([]*cpu.Result, error) {
 		}()
 	}
 	wg.Wait()
-	if failed.Load() {
-		var errs []error
-		for _, err := range cellErrs {
-			if err != nil {
-				errs = append(errs, err)
-			}
+	var errs []error
+	for _, err := range cellErrs {
+		if err != nil {
+			errs = append(errs, err)
 		}
-		return nil, errors.Join(errs...)
+	}
+	if len(errs) > 0 {
+		return results, errors.Join(errs...)
 	}
 	return results, nil
 }

@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"portsim/internal/config"
 	"portsim/internal/cpu"
+	"portsim/internal/diag"
 	"portsim/internal/stats"
 	"portsim/internal/trace"
 	"portsim/internal/workload"
@@ -26,6 +29,14 @@ type Spec struct {
 	// deterministic and cells are merged in submission order, so the
 	// rendered tables are byte-identical at any parallelism level.
 	Parallel int
+	// FlightRecorder arms the per-cell pipeline flight recorder so any
+	// cell failure carries its last diag.DefaultDepth events. It is off
+	// by default; cells poisoned by Fault always record regardless.
+	FlightRecorder bool
+	// Fault, when non-nil, poisons every cell of the matching workload —
+	// the fault-injection hook behind the robustness tests and portbench
+	// -inject. Healthy workloads are unaffected.
+	Fault *Fault
 }
 
 // DefaultSpec runs every workload at full length, the configuration behind
@@ -118,6 +129,10 @@ func (r *Runner) SimulatedInstructions() uint64 { return r.simInsts.Load() }
 // Run simulates one workload on one machine, reusing a previous result for
 // the identical configuration. Concurrent calls with the same configuration
 // share one simulation: the first caller runs it, the rest wait for it.
+// Failures are memoised like results: the simulator is deterministic, so a
+// failed cell would fail identically on every retry, and caching the
+// CellError means the whole campaign reports one failure per distinct cell
+// instead of re-dying once per experiment that shares the configuration.
 func (r *Runner) Run(m config.Machine, workloadName string) (*cpu.Result, error) {
 	cfgJSON, err := m.ToJSON()
 	if err != nil {
@@ -133,11 +148,32 @@ func (r *Runner) Run(m config.Machine, workloadName string) (*cpu.Result, error)
 	e := &memoEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
-	func() {
-		defer close(e.done)
-		e.res, e.err = r.runWorkload(m, workloadName)
-	}()
+	r.fill(e, func() (*cpu.Result, error) { return r.runWorkload(m, workloadName) })
 	return e.res, e.err
+}
+
+// fill runs the owning caller's simulation into the memo entry and then
+// releases the waiters. The deferred recover sits between the work and the
+// close (LIFO order: recover stores the error first, then done is closed),
+// fixing the memo-poisoning bug where a panicking owner closed e.done with
+// res == nil, err == nil and every waiter received a silent nil result
+// forever. runStream contains panics with full cell context; this recover
+// is the backstop for panics outside the simulation itself (workload
+// resolution, result accounting).
+func (r *Runner) fill(e *memoEntry, run func() (*cpu.Result, error)) {
+	defer close(e.done)
+	defer func() {
+		if p := recover(); p != nil {
+			e.res = nil
+			e.err = &CellError{
+				Seed:  r.spec.Seed,
+				Insts: r.spec.Insts,
+				Stack: string(debug.Stack()),
+				Err:   fmt.Errorf("%w: %v", ErrCellPanic, p),
+			}
+		}
+	}()
+	e.res, e.err = run()
 }
 
 // runWorkload resolves a workload name and simulates it (no memoisation).
@@ -156,21 +192,62 @@ func (r *Runner) runProfile(m config.Machine, prof workload.Profile) (*cpu.Resul
 	if err != nil {
 		return nil, err
 	}
-	return r.runStream(m, gen, prof.Name)
+	res, err := r.runStream(m, gen, prof.Name)
+	if err != nil {
+		// The profile is ad hoc (no workload.ByName entry), so a repro
+		// bundle must carry it verbatim.
+		var ce *CellError
+		if errors.As(err, &ce) && ce.Profile == nil {
+			p := prof
+			ce.Profile = &p
+		}
+	}
+	return res, err
 }
 
-// runStream simulates an arbitrary stream (not memoised).
-func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (*cpu.Result, error) {
+// runStream simulates an arbitrary stream (not memoised). This is the cell
+// crash boundary: a panic anywhere in the simulation — the stream, the
+// pipeline model, the memory system — is contained here into a CellError
+// carrying the machine configuration, the cell identity, the stack, and
+// the flight recorder's tail. Simulation errors (deadline, watchdog stall)
+// are wrapped into CellErrors with the same context, minus the stack.
+func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (res *cpu.Result, err error) {
+	var rec *diag.Recorder
+	if r.spec.FlightRecorder || r.spec.Fault.applies(what) {
+		rec = diag.NewRecorder(0)
+	}
+	if r.spec.Fault.applies(what) {
+		stream = r.spec.Fault.arm(&m, stream)
+	}
+	cellErr := func(stack string, cause error) *CellError {
+		return &CellError{
+			Machine:  m,
+			Workload: what,
+			Seed:     r.spec.Seed,
+			Insts:    r.spec.Insts,
+			Stack:    stack,
+			Events:   rec.Events(),
+			Err:      cause,
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = cellErr(string(debug.Stack()), fmt.Errorf("%w: %v", ErrCellPanic, p))
+		}
+	}()
 	c, err := cpu.New(&m, stream)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.Run(cpu.Options{
+	res, err = c.Run(cpu.Options{
 		MaxInstructions: r.spec.Insts,
 		DeadlineCycles:  cpu.DeadlineFor(r.spec.Insts),
+		StallCycles:     cpu.DefaultStallCycles,
+		Recorder:        rec,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err)
+		return nil, cellErr("", fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err))
 	}
 	r.simCycles.Add(res.Cycles)
 	r.simInsts.Add(res.Instructions)

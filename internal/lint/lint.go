@@ -17,6 +17,7 @@ import (
 	"portsim/internal/lint/detrand"
 	"portsim/internal/lint/floatcmp"
 	"portsim/internal/lint/loader"
+	"portsim/internal/lint/recoverhygiene"
 )
 
 // Suite returns the full portlint analyzer suite.
@@ -27,6 +28,7 @@ func Suite() []*analysis.Analyzer {
 		cyclemath.Analyzer,
 		detrand.Analyzer,
 		floatcmp.Analyzer,
+		recoverhygiene.Analyzer,
 	}
 }
 

@@ -1,0 +1,61 @@
+// Package recoverhygiene implements the portlint analyzer that keeps crash
+// containment at the experiment-cell boundary. The robustness layer's
+// contract is that a simulator panic unwinds to internal/experiments, where
+// it becomes a structured CellError carrying the machine configuration and
+// the flight recorder's tail. A stray recover() deeper in the model would
+// swallow the panic before the cell boundary sees it — losing the stack,
+// the diagnosis, and possibly continuing the simulation in a corrupt state.
+// The analyzer therefore flags every call to the recover builtin outside the
+// allowlisted containment packages. Test files are never analyzed, so tests
+// remain free to assert on panics however they like.
+package recoverhygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"portsim/internal/lint/analysis"
+)
+
+// Allowed lists the package import paths that may call recover(): the
+// experiment engine (the cell crash boundary) and the diagnostics package
+// that formats what containment captured.
+var Allowed = map[string]bool{
+	"portsim/internal/experiments": true,
+	"portsim/internal/diag":        true,
+}
+
+// Analyzer is the recoverhygiene analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "recoverhygiene",
+	Doc: "flags recover() outside the crash-containment packages so panics " +
+		"keep unwinding to the experiment-cell boundary where they are " +
+		"converted into diagnosed CellErrors",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if Allowed[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[ident].(*types.Builtin); ok && b.Name() == "recover" {
+				pass.Reportf(call.Pos(),
+					"recover() outside the containment boundary swallows panics before "+
+						"internal/experiments can convert them into diagnosed CellErrors; "+
+						"let the panic unwind to the cell boundary")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package recoverhygiene_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/recoverhygiene"
+)
+
+func TestRecoverHygiene(t *testing.T) {
+	analysistest.Run(t, recoverhygiene.Analyzer, "a")
+}
+
+// TestAllowedPackageExempt checks that an allowlisted package may recover.
+func TestAllowedPackageExempt(t *testing.T) {
+	const path = "portsim/internal/lint/recoverhygiene/testdata/src/contained"
+	recoverhygiene.Allowed[path] = true
+	defer delete(recoverhygiene.Allowed, path)
+	analysistest.Run(t, recoverhygiene.Analyzer, "contained")
+}

@@ -1,0 +1,31 @@
+// Package a is a recoverhygiene fixture: bare recover() calls are flagged,
+// shadowed identifiers and suppressed lines are not.
+package a
+
+import "fmt"
+
+func swallows() (err error) {
+	defer func() {
+		if p := recover(); p != nil { // want `recover\(\) outside the containment boundary`
+			err = fmt.Errorf("swallowed: %v", p)
+		}
+	}()
+	return nil
+}
+
+func directDefer() {
+	defer recover() // want `recover\(\) outside the containment boundary`
+}
+
+// shadowed defines a local function named recover; calling it is not the
+// builtin and must stay silent.
+func shadowed() {
+	recover := func() error { return nil }
+	_ = recover()
+}
+
+func suppressed() {
+	defer func() {
+		_ = recover() //portlint:ignore recoverhygiene fixture demonstrating suppression
+	}()
+}

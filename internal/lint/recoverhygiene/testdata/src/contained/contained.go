@@ -1,0 +1,13 @@
+// Package contained is a recoverhygiene fixture standing in for an
+// allowlisted containment package: its recover() calls are exempt.
+package contained
+
+func contain(run func()) (panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	run()
+	return false
+}

@@ -60,6 +60,7 @@ import (
 )
 
 func main() {
+	defer func() { _ = recover() }()       // bare recover: recoverhygiene
 	start := uint64(time.Now().UnixNano()) // time.Now: detrand
 	end := uint64(rand.Int63())            // global rand: detrand
 	elapsed := end - start                 // unguarded uint64 subtraction: cyclemath
@@ -73,7 +74,7 @@ func main() {
 	if err != nil {
 		t.Fatalf("lint.Run on scratch module: %v", err)
 	}
-	wantAnalyzers := []string{"cyclemath", "detrand", "floatcmp"}
+	wantAnalyzers := []string{"cyclemath", "detrand", "floatcmp", "recoverhygiene"}
 	got := make(map[string]int)
 	for _, f := range findings {
 		got[f.Analyzer]++
@@ -94,7 +95,7 @@ func TestSuiteStable(t *testing.T) {
 	for _, a := range lint.Suite() {
 		names = append(names, a.Name)
 	}
-	want := "configbounds,counterhygiene,cyclemath,detrand,floatcmp"
+	want := "configbounds,counterhygiene,cyclemath,detrand,floatcmp,recoverhygiene"
 	if got := strings.Join(names, ","); got != want {
 		t.Errorf("Suite() = %s, want %s", got, want)
 	}

@@ -94,6 +94,12 @@ func WorkloadByName(name string) (Profile, bool) { return workload.ByName(name) 
 type Simulation struct {
 	core *cpu.Core
 	done bool
+	// endless marks a simulation over a built-in workload generator,
+	// which never exhausts its stream: Run must be given a positive
+	// instruction bound or it would spin until the deadline guard —
+	// and with a zero bound the guard is disabled, so it would never
+	// return at all.
+	endless bool
 }
 
 // New builds a simulation of the named built-in workload on the given
@@ -113,12 +119,21 @@ func NewFromProfile(cfg Config, prof Profile, seed int64) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewFromStream(cfg, gen)
+	s, err := NewFromStream(cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	s.endless = true
+	return s, nil
 }
 
 // NewFromStream builds a simulation over a caller-supplied instruction
-// stream (for replaying captured traces or custom generators).
+// stream (for replaying captured traces or custom generators). The stream
+// must be non-nil.
 func NewFromStream(cfg Config, stream InstructionStream) (*Simulation, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("portsim: nil instruction stream")
+	}
 	core, err := cpu.New(&cfg, stream)
 	if err != nil {
 		return nil, err
@@ -128,14 +143,21 @@ func NewFromStream(cfg Config, stream InstructionStream) (*Simulation, error) {
 
 // Run simulates until maxInstructions commit (zero: until the stream ends)
 // and returns the result. The built-in workload generators never end, so a
-// positive bound is required with them.
+// positive bound is required with them; Run rejects the combination instead
+// of hanging. Runs are guarded by a cycle deadline and a forward-progress
+// watchdog, so a wedged model returns a diagnosed error rather than
+// spinning forever.
 func (s *Simulation) Run(maxInstructions uint64) (*Result, error) {
 	if s.done {
 		return nil, fmt.Errorf("portsim: simulation already ran; create a new one")
+	}
+	if s.endless && maxInstructions == 0 {
+		return nil, fmt.Errorf("portsim: maxInstructions must be positive: the built-in workload generators never end, so an unbounded run would never return")
 	}
 	s.done = true
 	return s.core.Run(cpu.Options{
 		MaxInstructions: maxInstructions,
 		DeadlineCycles:  cpu.DeadlineFor(maxInstructions),
+		StallCycles:     cpu.DefaultStallCycles,
 	})
 }
