@@ -28,7 +28,19 @@ func benchSpec() experiments.Spec {
 	}
 }
 
+// newBenchRunner builds a fresh runner with the benchmark timer stopped, so
+// reported ns/op and allocs/op measure the experiment itself, not spec or
+// runner construction. The runner must be fresh each iteration — its memo
+// cache would otherwise turn iterations 2+ into cache lookups.
+func newBenchRunner(b *testing.B) *experiments.Runner {
+	b.StopTimer()
+	r := experiments.NewRunner(benchSpec())
+	b.StartTimer()
+	return r
+}
+
 func BenchmarkT1BaselineConfig(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if T1 := experiments.T1Baseline(); T1.String() == "" {
 			b.Fatal("empty table")
@@ -37,8 +49,9 @@ func BenchmarkT1BaselineConfig(b *testing.B) {
 }
 
 func BenchmarkT2WorkloadCharacterisation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.T2Characterisation(r)
 		if err != nil {
 			b.Fatal(err)
@@ -48,8 +61,9 @@ func BenchmarkT2WorkloadCharacterisation(b *testing.B) {
 }
 
 func BenchmarkF1PortCount(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.F1PortCount(r)
 		if err != nil {
 			b.Fatal(err)
@@ -59,8 +73,9 @@ func BenchmarkF1PortCount(b *testing.B) {
 }
 
 func BenchmarkF2BufferDepth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.F2BufferDepth(r)
 		if err != nil {
 			b.Fatal(err)
@@ -70,8 +85,9 @@ func BenchmarkF2BufferDepth(b *testing.B) {
 }
 
 func BenchmarkF3PortWidth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.F3PortWidth(r)
 		if err != nil {
 			b.Fatal(err)
@@ -81,8 +97,9 @@ func BenchmarkF3PortWidth(b *testing.B) {
 }
 
 func BenchmarkF4LineBuffers(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.F4LineBuffers(r)
 		if err != nil {
 			b.Fatal(err)
@@ -92,8 +109,9 @@ func BenchmarkF4LineBuffers(b *testing.B) {
 }
 
 func BenchmarkF5StoreCombining(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.F5StoreCombining(r)
 		if err != nil {
 			b.Fatal(err)
@@ -103,8 +121,9 @@ func BenchmarkF5StoreCombining(b *testing.B) {
 }
 
 func BenchmarkF6HeadlineComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.F6Headline(r)
 		if err != nil {
 			b.Fatal(err)
@@ -118,8 +137,9 @@ func BenchmarkF6HeadlineComparison(b *testing.B) {
 }
 
 func BenchmarkT3PortUtilisation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.T3PortUtilisation(r)
 		if err != nil {
 			b.Fatal(err)
@@ -129,8 +149,9 @@ func BenchmarkT3PortUtilisation(b *testing.B) {
 }
 
 func BenchmarkF7KernelIntensity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.F7KernelIntensity(r)
 		if err != nil {
 			b.Fatal(err)
@@ -140,8 +161,9 @@ func BenchmarkF7KernelIntensity(b *testing.B) {
 }
 
 func BenchmarkA1Ablation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A1Ablation(r)
 		if err != nil {
 			b.Fatal(err)
@@ -151,8 +173,9 @@ func BenchmarkA1Ablation(b *testing.B) {
 }
 
 func BenchmarkA2Banking(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A2Banking(r)
 		if err != nil {
 			b.Fatal(err)
@@ -162,8 +185,9 @@ func BenchmarkA2Banking(b *testing.B) {
 }
 
 func BenchmarkA3Prefetch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A3Prefetch(r)
 		if err != nil {
 			b.Fatal(err)
@@ -173,8 +197,9 @@ func BenchmarkA3Prefetch(b *testing.B) {
 }
 
 func BenchmarkA4MemSpeculation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A4MemSpeculation(r)
 		if err != nil {
 			b.Fatal(err)
@@ -184,8 +209,9 @@ func BenchmarkA4MemSpeculation(b *testing.B) {
 }
 
 func BenchmarkA5WritePolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A5WritePolicy(r)
 		if err != nil {
 			b.Fatal(err)
@@ -195,8 +221,9 @@ func BenchmarkA5WritePolicy(b *testing.B) {
 }
 
 func BenchmarkA6Multiprogramming(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A6Multiprogramming(r)
 		if err != nil {
 			b.Fatal(err)
@@ -206,8 +233,9 @@ func BenchmarkA6Multiprogramming(b *testing.B) {
 }
 
 func BenchmarkA7ArbitrationPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A7ArbitrationPolicy(r)
 		if err != nil {
 			b.Fatal(err)
@@ -217,8 +245,9 @@ func BenchmarkA7ArbitrationPolicy(b *testing.B) {
 }
 
 func BenchmarkT4GrantDistribution(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.T4GrantDistribution(r)
 		if err != nil {
 			b.Fatal(err)
@@ -228,8 +257,9 @@ func BenchmarkT4GrantDistribution(b *testing.B) {
 }
 
 func BenchmarkA8WrongPathFetch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(benchSpec())
+		r := newBenchRunner(b)
 		rows, _, err := experiments.A8WrongPathFetch(r)
 		if err != nil {
 			b.Fatal(err)
@@ -249,10 +279,13 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 	for _, p := range levels {
 		b.Run(fmt.Sprintf("workers=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				b.StopTimer()
 				spec := benchSpec()
 				spec.Parallel = p
 				r := experiments.NewRunner(spec)
+				b.StartTimer()
 				rows, _, err := experiments.F6Headline(r)
 				if err != nil {
 					b.Fatal(err)
@@ -269,11 +302,14 @@ func BenchmarkParallelScaling(b *testing.B) {
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	const insts = 100_000
 	b.SetBytes(0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		sim, err := portsim.New(portsim.BaselineConfig(), "compress", 42)
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		res, err := sim.Run(insts)
 		if err != nil {
 			b.Fatal(err)

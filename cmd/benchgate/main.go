@@ -1,0 +1,68 @@
+// Command benchgate is the CI benchmark-trajectory gate: it compares a
+// freshly produced BENCH json (from `portbench -benchjson`) against the
+// checked-in baseline and exits non-zero when throughput has regressed.
+//
+// Usage:
+//
+//	benchgate -baseline results/BENCH_baseline.json -current BENCH_ci.json
+//	          [-max-regress 0.10] [-max-alloc-growth 0.25]
+//
+// Two total-run metrics are gated: cycles/sec may not fall more than
+// -max-regress below the baseline, and allocs/1k-cycles may not grow more
+// than -max-alloc-growth above it. The allocation metric is hardware-
+// independent and is the stricter long-term signal; the rate metric catches
+// gross slowdowns on comparable hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"portsim/internal/benchfmt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		baselinePath   = fs.String("baseline", "", "checked-in baseline BENCH json")
+		currentPath    = fs.String("current", "", "freshly produced BENCH json")
+		maxRegress     = fs.Float64("max-regress", 0.10, "max fractional cycles/sec regression before failing")
+		maxAllocGrowth = fs.Float64("max-alloc-growth", 0.25, "max fractional allocs/1k-cycles growth before failing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *currentPath == "" {
+		return fmt.Errorf("both -baseline and -current are required")
+	}
+	baseline, err := benchfmt.Read(*baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := benchfmt.Read(*currentPath)
+	if err != nil {
+		return err
+	}
+	if baseline.Parallel != current.Parallel || baseline.Insts != current.Insts || baseline.Workloads != current.Workloads {
+		return fmt.Errorf("runs are not comparable: baseline %d workloads x %d insts at parallel %d, current %d x %d at %d",
+			baseline.Workloads, baseline.Insts, baseline.Parallel,
+			current.Workloads, current.Insts, current.Parallel)
+	}
+	fmt.Printf("baseline: %.0f cycles/s, %.2f allocs/1k-cycles (%s)\n",
+		baseline.Total.CyclesPerSec, baseline.Total.AllocsPer1kCycles, baseline.Date)
+	fmt.Printf("current:  %.0f cycles/s, %.2f allocs/1k-cycles (%s)\n",
+		current.Total.CyclesPerSec, current.Total.AllocsPer1kCycles, current.Date)
+	if err := benchfmt.Compare(baseline, current, *maxRegress, *maxAllocGrowth); err != nil {
+		return err
+	}
+	fmt.Println("benchgate: ok")
+	return nil
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"portsim/internal/benchfmt"
+	"portsim/internal/experiments"
+)
+
+// profiler owns the pprof outputs requested on the command line. CPU
+// profiling runs for the whole suite; the heap and allocation profiles are
+// snapshots written at stop time.
+type profiler struct {
+	cpuFile             *os.File
+	memPath, allocsPath string
+}
+
+// startProfiles opens the requested profile outputs. The returned profiler's
+// stop must run even on error paths, or the CPU profile is truncated.
+func startProfiles(cpuPath, memPath, allocsPath string) (*profiler, error) {
+	p := &profiler{memPath: memPath, allocsPath: allocsPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// stop finalises every requested profile. The heap profile runs a GC first
+// so it shows live memory, not garbage awaiting collection; the allocs
+// profile deliberately does not — it records every allocation since start,
+// which is the signal a zero-alloc cycle loop is judged by.
+func (p *profiler) stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+	}
+	if p.memPath != "" {
+		runtime.GC()
+		if err := writeProfile("heap", p.memPath); err != nil {
+			return err
+		}
+	}
+	if p.allocsPath != "" {
+		if err := writeProfile("allocs", p.allocsPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeProfile(name, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return pprof.Lookup(name).WriteTo(f, 0)
+}
+
+// benchPath resolves the -benchjson argument: an explicit .json filename is
+// used verbatim (CI pins BENCH_ci.json); anything else is a directory that
+// receives the date-stamped BENCH_<yyyy-mm-dd>.json trajectory file.
+func benchPath(arg string, now time.Time) string {
+	if strings.HasSuffix(arg, ".json") {
+		return arg
+	}
+	return filepath.Join(arg, "BENCH_"+now.Format("2006-01-02")+".json")
+}
+
+// benchRecorder accumulates per-experiment throughput for -benchjson. All
+// measurement is deltas of the runner's simulated-work counters and the
+// runtime's malloc counter around each experiment; experiments whose cells
+// were all memoised from earlier experiments contribute zero new work.
+type benchRecorder struct {
+	runner *experiments.Runner
+
+	startCycles, startInsts, startMallocs uint64
+	startTime                             time.Time
+
+	experiments []benchfmt.Experiment
+}
+
+func newBenchRecorder(r *experiments.Runner) *benchRecorder {
+	return &benchRecorder{runner: r}
+}
+
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// begin marks the start of one experiment.
+func (b *benchRecorder) begin() {
+	b.startCycles = b.runner.SimulatedCycles()
+	b.startInsts = b.runner.SimulatedInstructions()
+	b.startMallocs = mallocs()
+	b.startTime = time.Now()
+}
+
+// end records the experiment begun by the matching begin.
+func (b *benchRecorder) end(id string) {
+	e := benchfmt.Experiment{
+		ID:          id,
+		WallSeconds: time.Since(b.startTime).Seconds(),
+		SimCycles:   b.runner.SimulatedCycles() - b.startCycles,      //portlint:ignore cyclemath the runner's work counters are monotonic; begin sampled the smaller value
+		SimInsts:    b.runner.SimulatedInstructions() - b.startInsts, //portlint:ignore cyclemath monotonic counter, begin sampled the smaller value
+		Allocs:      mallocs() - b.startMallocs,                      //portlint:ignore cyclemath runtime.MemStats.Mallocs is monotonic
+	}
+	e.Derive()
+	b.experiments = append(b.experiments, e)
+}
+
+// report assembles the final BENCH report for the whole run.
+func (b *benchRecorder) report(spec experiments.Spec, parallel int, elapsed time.Duration, allocs uint64, now time.Time) *benchfmt.Report {
+	total := benchfmt.Experiment{
+		ID:          "total",
+		WallSeconds: elapsed.Seconds(),
+		SimCycles:   b.runner.SimulatedCycles(),
+		SimInsts:    b.runner.SimulatedInstructions(),
+		Allocs:      allocs,
+	}
+	total.Derive()
+	return &benchfmt.Report{
+		Schema:      benchfmt.Schema,
+		Date:        now.Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Parallel:    parallel,
+		Workloads:   len(spec.Workloads),
+		Insts:       spec.Insts,
+		Seed:        spec.Seed,
+		Experiments: b.experiments,
+		Total:       total,
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"portsim/internal/benchfmt"
 	"portsim/internal/diag"
 	"portsim/internal/experiments"
 	"portsim/internal/stats"
@@ -57,6 +58,11 @@ func run(args []string, out io.Writer) error {
 		inject    = fs.String("inject", "", "poison one workload's cells: mode:workload[:after] with mode panic|badinst|wedge")
 		repro     = fs.String("repro", "", "replay a repro bundle file instead of running the suite")
 		reproDir  = fs.String("repro-dir", ".", "directory for repro bundles written on cell failure")
+
+		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memprofile   = fs.String("memprofile", "", "write a post-GC heap profile to this file at exit")
+		allocprofile = fs.String("allocprofile", "", "write an allocation profile (every malloc since start) to this file at exit")
+		benchjson    = fs.String("benchjson", "", "write machine-readable throughput json: a .json filename, or a directory for BENCH_<date>.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +97,16 @@ func run(args []string, out io.Writer) error {
 	}
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
+	prof, err := startProfiles(*cpuprofile, *memprofile, *allocprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "portbench: profile:", err)
+		}
+	}()
+
 	fmt.Fprintf(out, "portbench: %d workloads x %d instructions, seed %d\n\n",
 		len(spec.Workloads), spec.Insts, spec.Seed)
 	runner := experiments.NewRunner(spec)
@@ -99,6 +115,8 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(os.Stderr, "\rportbench: %d cells done", done)
 		})
 	}
+	bench := newBenchRecorder(runner)
+	suiteMallocs := mallocs()
 	start := time.Now()
 
 	type experiment struct {
@@ -133,7 +151,9 @@ func run(args []string, out io.Writer) error {
 		if !want(e.id) {
 			continue
 		}
+		bench.begin()
 		table, err := e.run()
+		bench.end(e.id)
 		if err != nil {
 			// One poisoned cell must not abandon the campaign: record the
 			// failure, keep rendering every healthy table, and report the
@@ -173,6 +193,15 @@ func run(args []string, out io.Writer) error {
 			runner.SimulatedCycles(), runner.SimulatedInstructions(),
 			float64(runner.SimulatedCycles())/secs/1e6,
 			float64(runner.SimulatedInstructions())/secs/1e6)
+	}
+	if *benchjson != "" {
+		now := time.Now()
+		path := benchPath(*benchjson, now)
+		report := bench.report(spec, runner.Parallel(), elapsed, mallocs()-suiteMallocs, now) //portlint:ignore cyclemath runtime.MemStats.Mallocs is monotonic
+		if err := benchfmt.Write(path, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bench json written: %s\n", path)
 	}
 	if len(failures) > 0 {
 		cells := reportFailures(out, failures, spec, *reproDir)

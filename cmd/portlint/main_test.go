@@ -12,7 +12,7 @@ func TestList(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run(-list) = %d, %v", code, err)
 	}
-	for _, name := range []string{"configbounds", "counterhygiene", "cyclemath", "detrand", "floatcmp"} {
+	for _, name := range []string{"configbounds", "counterhygiene", "cyclemath", "detrand", "floatcmp", "hotpath"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
 		}

@@ -1,0 +1,121 @@
+// Package benchfmt defines the BENCH_*.json throughput-trajectory format
+// shared by `portbench -benchjson` (the writer) and `benchgate` (the CI
+// comparator). A BENCH file records, per experiment and in total, how fast
+// the simulator chewed through simulated cycles and how much it allocated
+// doing so; the trajectory of these files across PRs is the repository's
+// performance history.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema identifies the current file format.
+const Schema = "portsim-bench/v1"
+
+// Experiment is one experiment's (or the whole run's) throughput record.
+type Experiment struct {
+	// ID is the experiment identifier (T1, F6, ...) or "total".
+	ID string `json:"id"`
+	// WallSeconds is the wall-clock time the experiment took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimCycles and SimInsts count simulated work actually executed for
+	// this experiment — memoised cells contribute zero, so an experiment
+	// that reused every cell legitimately reports no new work.
+	SimCycles uint64 `json:"sim_cycles"`
+	SimInsts  uint64 `json:"sim_insts"`
+	// Allocs is the number of heap allocations (runtime mallocs) observed
+	// while the experiment ran.
+	Allocs uint64 `json:"allocs"`
+	// CyclesPerSec and InstsPerSec are SimCycles/WallSeconds and
+	// SimInsts/WallSeconds; zero when the experiment did no new work.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	InstsPerSec  float64 `json:"insts_per_sec"`
+	// AllocsPer1kCycles is Allocs per thousand simulated cycles, the
+	// hardware-independent allocation-pressure metric: it compares across
+	// machines, unlike cycles/sec.
+	AllocsPer1kCycles float64 `json:"allocs_per_1k_cycles"`
+}
+
+// Report is one BENCH_*.json file.
+type Report struct {
+	Schema    string `json:"schema"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Parallel is the simulation worker count the run used; cycles/sec is
+	// only comparable between runs at equal parallelism.
+	Parallel int `json:"parallel"`
+	// Spec echoes the run scale so a reader can tell quick from full runs.
+	Workloads int    `json:"workloads"`
+	Insts     uint64 `json:"insts"`
+	Seed      int64  `json:"seed"`
+	// Notes carries free-form context, e.g. before/after numbers for the
+	// PR that produced the file.
+	Notes string `json:"notes,omitempty"`
+
+	Experiments []Experiment `json:"experiments"`
+	Total       Experiment   `json:"total"`
+}
+
+// Derive fills an experiment's rate fields from its raw fields.
+func (e *Experiment) Derive() {
+	if e.WallSeconds > 0 {
+		e.CyclesPerSec = float64(e.SimCycles) / e.WallSeconds
+		e.InstsPerSec = float64(e.SimInsts) / e.WallSeconds
+	}
+	if e.SimCycles > 0 {
+		e.AllocsPer1kCycles = float64(e.Allocs) / float64(e.SimCycles) * 1000
+	}
+}
+
+// Write marshals the report (indented, trailing newline) to path.
+func Write(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read parses a BENCH file and validates its schema tag.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %v", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Compare checks current against baseline and returns a non-nil error when
+// current's total cycles/sec has regressed by more than maxRegress (a
+// fraction: 0.10 means 10%) or its total allocs/1k-cycles has grown by more
+// than maxAllocGrowth. A zero baseline metric disables that check — a
+// baseline recorded before the metric existed must not hard-fail the gate.
+func Compare(baseline, current *Report, maxRegress, maxAllocGrowth float64) error {
+	if b, c := baseline.Total.CyclesPerSec, current.Total.CyclesPerSec; b > 0 {
+		floor := b * (1 - maxRegress)
+		if c < floor {
+			return fmt.Errorf("cycles/sec regressed %.1f%%: %.0f -> %.0f (floor %.0f at -max-regress %.2f)",
+				(1-c/b)*100, b, c, floor, maxRegress)
+		}
+	}
+	if b, c := baseline.Total.AllocsPer1kCycles, current.Total.AllocsPer1kCycles; b > 0 {
+		ceil := b * (1 + maxAllocGrowth)
+		if c > ceil {
+			return fmt.Errorf("allocs/1k-cycles grew %.1f%%: %.2f -> %.2f (ceiling %.2f at -max-alloc-growth %.2f)",
+				(c/b-1)*100, b, c, ceil, maxAllocGrowth)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(cyclesPerSec, allocsPer1k float64) *Report {
+	return &Report{
+		Schema: Schema,
+		Total:  Experiment{ID: "total", CyclesPerSec: cyclesPerSec, AllocsPer1kCycles: allocsPer1k},
+	}
+}
+
+func TestDerive(t *testing.T) {
+	e := Experiment{WallSeconds: 2, SimCycles: 4_000_000, SimInsts: 3_000_000, Allocs: 8000}
+	e.Derive()
+	if e.CyclesPerSec != 2_000_000 || e.InstsPerSec != 1_500_000 {
+		t.Errorf("rates: got %v cycles/s, %v insts/s", e.CyclesPerSec, e.InstsPerSec)
+	}
+	if e.AllocsPer1kCycles != 2 {
+		t.Errorf("allocs/1k-cycles: got %v, want 2", e.AllocsPer1kCycles)
+	}
+	// Zero wall time / zero cycles must not divide by zero.
+	var z Experiment
+	z.Derive()
+	if z.CyclesPerSec != 0 || z.AllocsPer1kCycles != 0 {
+		t.Errorf("zero experiment derived nonzero rates: %+v", z)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := report(1_000_000, 10)
+	cases := []struct {
+		name    string
+		current *Report
+		wantErr string
+	}{
+		{"identical", report(1_000_000, 10), ""},
+		{"faster and leaner", report(2_000_000, 1), ""},
+		{"within tolerance", report(950_000, 10.5), ""},
+		{"rate regressed", report(800_000, 10), "cycles/sec regressed"},
+		{"allocs grew", report(1_000_000, 20), "allocs/1k-cycles grew"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Compare(base, tc.current, 0.10, 0.25)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestCompareZeroBaselineSkipsCheck(t *testing.T) {
+	// A baseline with no recorded metric (older file) must not fail the gate.
+	if err := Compare(report(0, 0), report(1, 100), 0.10, 0.25); err != nil {
+		t.Fatalf("zero baseline should disable checks: %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := report(123_456, 7.5)
+	want.Date = "2026-08-05"
+	want.Experiments = []Experiment{{ID: "F1", SimCycles: 99}}
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != want.Total || got.Date != want.Date || len(got.Experiments) != 1 || got.Experiments[0].SimCycles != 99 {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	r := report(1, 1)
+	r.Schema = "something-else/v9"
+	if err := Write(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

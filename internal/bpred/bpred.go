@@ -20,6 +20,9 @@ type DirPredictor interface {
 	// Update trains the predictor with the actual outcome of the branch
 	// at pc. Implementations must be called in program order.
 	Update(pc uint64, taken bool)
+	// Reset restores the predictor to its just-constructed state, so a
+	// pooled simulation can reuse its tables for a fresh run.
+	Reset()
 }
 
 // counter is a two-bit saturating counter: 0,1 predict not-taken; 2,3
@@ -52,6 +55,9 @@ func (Static) Predict(uint64) bool { return false }
 // Update is a no-op.
 func (Static) Update(uint64, bool) {}
 
+// Reset is a no-op.
+func (Static) Reset() {}
+
 // Bimodal is a per-branch table of two-bit counters indexed by PC.
 type Bimodal struct {
 	table []counter
@@ -80,6 +86,14 @@ func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)].taken() 
 func (b *Bimodal) Update(pc uint64, taken bool) {
 	i := b.index(pc)
 	b.table[i] = b.table[i].train(taken)
+}
+
+// Reset implements DirPredictor: every counter returns to weakly not-taken,
+// exactly as NewBimodal left it.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 1
+	}
 }
 
 // Gshare XORs a global branch-history register with the PC to index a shared
@@ -126,6 +140,15 @@ func (g *Gshare) Update(pc uint64, taken bool) {
 	if taken {
 		g.history |= 1
 	}
+}
+
+// Reset implements DirPredictor: counters return to weakly not-taken and
+// the global history clears, exactly as NewGshare left them.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	g.history = 0
 }
 
 // btbEntry is one BTB way.
@@ -206,6 +229,14 @@ func (b *BTB) Insert(pc, target uint64) {
 	set[victim] = btbEntry{tag: pc, target: target, valid: true, lru: b.clock}
 }
 
+// Reset empties the BTB, restoring its just-constructed state.
+func (b *BTB) Reset() {
+	for _, set := range b.sets {
+		clear(set)
+	}
+	b.clock = 0
+}
+
 // RAS is a return-address stack with wrap-around overwrite on overflow, as
 // in real hardware: pushing onto a full stack silently overwrites the oldest
 // entry, and popping an empty stack returns a miss.
@@ -246,12 +277,28 @@ func (r *RAS) Pop() (uint64, bool) {
 // Depth returns the number of live entries.
 func (r *RAS) Depth() int { return r.top }
 
+// Reset empties the stack, restoring its just-constructed state.
+func (r *RAS) Reset() {
+	clear(r.stack)
+	r.top = 0
+	r.pos = 0
+}
+
 // Unit bundles a direction predictor, BTB and RAS as configured, and is the
 // interface the fetch stage uses.
 type Unit struct {
 	Dir DirPredictor
 	BTB *BTB
 	RAS *RAS
+}
+
+// Reset restores the whole unit to its just-constructed state, so a pooled
+// simulation reuses the (potentially large) predictor tables instead of
+// reallocating them per run.
+func (u *Unit) Reset() {
+	u.Dir.Reset()
+	u.BTB.Reset()
+	u.RAS.Reset()
 }
 
 // New builds a prediction unit from configuration. The configuration is

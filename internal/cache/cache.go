@@ -78,6 +78,18 @@ func NewLevel(geom config.CacheGeom) (*Level, error) {
 	return &Level{geom: geom, sets: sets, setMask: uint64(nsets - 1), offBits: offBits}, nil
 }
 
+// Reset invalidates every line and zeroes the statistics, restoring the
+// level to its just-constructed state (the OnEvict hook is retained, and
+// does not fire: a reset is a teardown, not a replacement). Pooled
+// simulations reuse the tag arrays across runs through this.
+func (l *Level) Reset() {
+	for _, set := range l.sets {
+		clear(set)
+	}
+	l.clock = 0
+	l.hits, l.misses, l.writebacks, l.evictions = 0, 0, 0, 0
+}
+
 // Geom returns the level's geometry.
 func (l *Level) Geom() config.CacheGeom { return l.geom }
 

@@ -140,6 +140,15 @@ func (s *LineBufferSet) InvalidateAll() {
 	}
 }
 
+// Reset empties the set and zeroes the statistics, restoring the
+// just-constructed state (unlike InvalidateAll, which counts the
+// invalidations as simulated events).
+func (s *LineBufferSet) Reset() {
+	clear(s.entries)
+	s.clock = 0
+	s.hits, s.fills, s.invalidations, s.misses = 0, 0, 0, 0
+}
+
 // Size returns the number of buffers.
 func (s *LineBufferSet) Size() int { return len(s.entries) }
 

@@ -88,11 +88,14 @@ type MemPort struct {
 	grants int // ports consumed this cycle
 
 	// Prefetch state: line addresses queued by load misses, issued into
-	// idle slots with the lowest priority.
-	prefetchQueue  []uint64
-	prefetched     map[uint64]bool
-	prefetches     uint64
-	usefulPrefetch uint64
+	// idle slots with the lowest priority. The queue is a fixed-capacity
+	// ring (pfHead oldest, pfCount occupancy); candidates beyond its
+	// capacity are dropped, as before.
+	prefetchQueue   [maxPrefetchQueue]uint64
+	pfHead, pfCount int
+	prefetched      map[uint64]bool
+	prefetches      uint64
+	usefulPrefetch  uint64
 
 	// Banking state (cfg.Banks > 1): the data array is line-interleaved
 	// into single-ported banks; up to one access proceeds per bank per
@@ -177,6 +180,36 @@ func NewMemPort(cfg config.Ports, sys *mem.System) *MemPort {
 // port-side events.
 func (p *MemPort) SetRecorder(rec *diag.Recorder) { p.rec = rec }
 
+// Reset restores the port subsystem — grants, prefetch state, banking and
+// refill debts, store buffer, line buffers, statistics — to its
+// just-constructed state, reusing every backing structure. Part of the
+// pooled-simulation path; the configuration (and the L1D eviction hook) is
+// retained.
+func (p *MemPort) Reset() {
+	p.grants = 0
+	p.pfHead, p.pfCount = 0, 0
+	if p.prefetched != nil {
+		clear(p.prefetched)
+	}
+	p.prefetches, p.usefulPrefetch = 0, 0
+	for i := range p.bankBusy {
+		p.bankBusy[i] = false
+		p.bankDebt[i] = 0
+	}
+	p.bankConflicts = 0
+	p.pendingRefills = p.pendingRefills[:0]
+	p.refillDebt = 0
+	p.refillCycles = 0
+	p.loadPortAccesses, p.storePortAccesses = 0, 0
+	p.loadsBySource = [3]uint64{}
+	p.rejects = [5]uint64{}
+	p.cycles, p.busyGrants = 0, 0
+	p.grantHist.Reset()
+	p.lbs.Reset()
+	p.sb.Reset()
+	p.rec = nil
+}
+
 // LineBuffers exposes the load-all buffer set (statistics, tests).
 func (p *MemPort) LineBuffers() *LineBufferSet { return p.lbs }
 
@@ -187,6 +220,8 @@ func (p *MemPort) StoreBuffer() *StoreBuffer { return p.sb }
 // their array-write bandwidth, and completed store drains leave the buffer.
 // Under the stores-first policy the store buffer drains here, ahead of the
 // cycle's loads.
+//
+//portlint:hotpath
 func (p *MemPort) BeginCycle(now uint64) {
 	p.grants = 0
 	p.cycles++
@@ -315,6 +350,8 @@ func (p *MemPort) releaseSlot(addr uint64) {
 // checks the store buffer (forward or conflict), the load-all line buffers,
 // and finally the cache through a port grant. On a wide-port cache access
 // the full aligned chunk is latched into a line buffer ("load-all").
+//
+//portlint:hotpath
 func (p *MemPort) TryLoad(now, addr uint64, size int) LoadResult {
 	if fwd, conflict := p.sb.Probe(addr, size); conflict {
 		p.rejects[RejectStoreConflict]++
@@ -378,6 +415,8 @@ const combineHoldCycles = 6
 // buffer depth matter. Stores invalidate any line buffer latching their
 // chunk; the latched copy is stale the moment the store is architecturally
 // performed.
+//
+//portlint:hotpath
 func (p *MemPort) TryCommitStore(now, addr uint64, size int) bool {
 	if !p.sb.CanAccept(addr, size) {
 		return false
@@ -393,6 +432,8 @@ func (p *MemPort) TryCommitStore(now, addr uint64, size int) bool {
 // loads left unused (loads have priority, as in the paper — unless
 // StoresFirst already drained at BeginCycle), then spends any remaining
 // slots on queued prefetches.
+//
+//portlint:hotpath
 func (p *MemPort) EndCycle(now uint64) {
 	if !p.cfg.StoresFirst {
 		p.drainStores(now)
@@ -407,6 +448,8 @@ func (p *MemPort) EndCycle(now uint64) {
 // combining enabled, a young entry in a lightly loaded buffer is held open
 // so subsequent stores can merge into it; it drains once the buffer passes
 // quarter occupancy or the entry ages out.
+//
+//portlint:hotpath
 func (p *MemPort) drainStores(now uint64) {
 	if p.cfg.FaultStuckDrain {
 		return // injected fault: the drain path is wedged shut
@@ -435,26 +478,43 @@ func (p *MemPort) drainStores(now uint64) {
 		p.storePortAccesses++
 		p.noteMiss(e.ChunkAddr, r)
 		p.sb.MarkIssued(e, r.Ready)
-		p.rec.Record(now, diag.EventDrain, e.seq, e.ChunkAddr)
+		if p.rec != nil {
+			p.rec.Record(now, diag.EventDrain, e.seq, e.ChunkAddr)
+		}
 	}
 }
 
+// maxPrefetchQueue bounds the prefetch candidate queue.
+const maxPrefetchQueue = 16
+
 // enqueuePrefetch records a candidate line, deduplicating against the
 // queue's recent content cheaply via the prefetched set.
+//
+//portlint:hotpath
 func (p *MemPort) enqueuePrefetch(lineAddr uint64) {
-	const maxQueue = 16
-	if len(p.prefetchQueue) >= maxQueue {
+	if p.pfCount >= maxPrefetchQueue {
 		return
 	}
-	p.prefetchQueue = append(p.prefetchQueue, lineAddr)
+	i := p.pfHead + p.pfCount
+	if i >= maxPrefetchQueue {
+		i -= maxPrefetchQueue
+	}
+	p.prefetchQueue[i] = lineAddr
+	p.pfCount++
 }
 
 // issuePrefetches spends whatever slots remain after loads, store drains
 // and refills on queued prefetch lines.
+//
+//portlint:hotpath
 func (p *MemPort) issuePrefetches(now uint64) {
-	for len(p.prefetchQueue) > 0 && p.portFree() {
-		line := p.prefetchQueue[0]
-		p.prefetchQueue = p.prefetchQueue[1:]
+	for p.pfCount > 0 && p.portFree() {
+		line := p.prefetchQueue[p.pfHead]
+		p.pfHead++
+		if p.pfHead == maxPrefetchQueue {
+			p.pfHead = 0
+		}
+		p.pfCount--
 		if p.sys.L1D.Contains(line) {
 			continue // already resident: drop without spending a slot
 		}

@@ -38,6 +38,7 @@ type StoreBuffer struct {
 	capacity   int
 	combining  bool
 	entries    []SBEntry // ordered oldest first
+	expired    []SBEntry // scratch returned by Expire, reused across cycles
 	nextSeq    uint64
 
 	inserts, combined, drains, forwards, conflicts uint64
@@ -59,7 +60,18 @@ func NewStoreBuffer(capacity, chunkBytes int, combining bool) *StoreBuffer {
 		capacity:   capacity,
 		combining:  combining,
 		entries:    make([]SBEntry, 0, capacity),
+		expired:    make([]SBEntry, 0, capacity),
 	}
+}
+
+// Reset empties the buffer and zeroes the statistics, restoring the
+// just-constructed state while keeping the entry storage.
+func (b *StoreBuffer) Reset() {
+	b.entries = b.entries[:0]
+	b.expired = b.expired[:0]
+	b.nextSeq = 0
+	b.inserts, b.combined, b.drains, b.forwards, b.conflicts = 0, 0, 0, 0, 0
+	b.occupancySamples, b.occupancySum = 0, 0
 }
 
 // ChunkAddr returns addr rounded down to its aligned chunk.
@@ -225,9 +237,12 @@ func (e *SBEntry) Age(now uint64) uint64 {
 
 // Expire removes issued entries whose cache writes have completed by cycle
 // now, returning them (oldest first) so the caller can apply their data in
-// data-carrying mode.
+// data-carrying mode. The returned slice aliases internal scratch that the
+// next Expire call overwrites: consume it before calling Expire again.
+//
+//portlint:hotpath
 func (b *StoreBuffer) Expire(now uint64) []SBEntry {
-	var done []SBEntry
+	done := b.expired[:0]
 	kept := b.entries[:0]
 	for i := range b.entries {
 		e := b.entries[i]
@@ -238,6 +253,7 @@ func (b *StoreBuffer) Expire(now uint64) []SBEntry {
 		}
 	}
 	b.entries = kept
+	b.expired = done
 	return done
 }
 

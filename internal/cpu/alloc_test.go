@@ -1,0 +1,38 @@
+package cpu
+
+import (
+	"testing"
+
+	"portsim/internal/config"
+	"portsim/internal/workload"
+)
+
+// TestStepDoesNotAllocate is the tentpole's regression guard: once the
+// pipeline is warm, advancing the machine one cycle must not touch the heap.
+// step() is the tightest steppable unit — Run is a loop around it — so a
+// zero here means the whole steady-state cycle loop is allocation-free. The
+// warm-up phase absorbs one-time growth (MSHR slices, store-buffer scratch,
+// the batched-stream chunk buffer) that is amortised, not steady-state.
+func TestStepDoesNotAllocate(t *testing.T) {
+	for _, m := range []config.Machine{config.Baseline(), config.BestSingle()} {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			g, err := workload.New(mustProfile(t, "compress"), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := New(&m, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The generator never ends, so the machine cannot drain
+			// mid-measurement.
+			for i := 0; i < 20_000; i++ {
+				c.step()
+			}
+			if avg := testing.AllocsPerRun(2000, c.step); avg != 0 {
+				t.Errorf("step allocates %v objects/cycle in steady state; want 0", avg)
+			}
+		})
+	}
+}

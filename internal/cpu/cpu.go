@@ -151,12 +151,32 @@ type Core struct {
 	cycle  uint64
 	seq    uint64
 
+	// Batched stream state. When the stream implements trace.Batcher,
+	// fetch pulls instructions through batchBuf in streamChunk-sized
+	// refills: one dynamic dispatch per chunk instead of one per
+	// instruction. The generators' output is independent of when they are
+	// called, so pulling ahead of the pipeline changes nothing the core
+	// observes.
+	batcher            trace.Batcher
+	batchBuf           []isa.Inst
+	batchPos, batchLen int
+
 	// Reorder buffer as a ring.
 	rob       []robEntry
 	robHead   int
 	robCount  int
 	committed uint64
 	maxInsts  uint64
+
+	// Issue/complete fast-path bookkeeping. issuedCount is the number of
+	// entries in stateIssued; neverStores counts issued stores whose
+	// completion time is still unknown (doneAt == never); nextDoneAt is a
+	// lower bound on the earliest completion among issued entries. complete
+	// skips its ROB scan entirely on cycles where these prove nothing can
+	// transition, which is the common case during long miss shadows.
+	issuedCount int
+	neverStores int
+	nextDoneAt  uint64
 
 	// Physical register files: readyAt per register, free lists.
 	intReady, fpReady []uint64
@@ -171,9 +191,11 @@ type Core struct {
 	// Functional-unit availability.
 	intDivFreeAt, fpDivFreeAt uint64
 
-	// Fetch state.
+	// Fetch state. The fetch buffer is a fixed-capacity ring (fbHead is
+	// the oldest entry, fbCount the occupancy) so steady-state fetch and
+	// dispatch never allocate.
 	fetchBuf        []fetchedInst
-	fetchBufCap     int
+	fbHead, fbCount int
 	fetchBlockedTil uint64
 	stallSeq        uint64 // seq of the unresolved control inst blocking fetch (0 = none)
 	stallOnCommit   bool   // the blocking instruction releases fetch at commit (syscall)
@@ -226,8 +248,13 @@ func New(cfg *config.Machine, stream trace.Stream) (*Core, error) {
 		pred:         pred,
 		stream:       stream,
 		rob:          make([]robEntry, cfg.Core.ROBEntries),
-		fetchBufCap:  4 * cfg.Core.FetchWidth,
+		fetchBuf:     make([]fetchedInst, 4*cfg.Core.FetchWidth),
+		nextDoneAt:   never,
 		curFetchLine: ^uint64(0),
+	}
+	if b, ok := stream.(trace.Batcher); ok {
+		c.batcher = b
+		c.batchBuf = make([]isa.Inst, streamChunk)
 	}
 	c.intReady = make([]uint64, cfg.Core.IntPhysRegs)
 	c.fpReady = make([]uint64, cfg.Core.FPPhysRegs)
@@ -244,6 +271,73 @@ func New(cfg *config.Machine, stream trace.Stream) (*Core, error) {
 		c.fpFree = append(c.fpFree, int16(i))
 	}
 	return c, nil
+}
+
+// Reset restores the core — pipeline, renamer, predictors, port subsystem,
+// memory hierarchy — to exactly the state New would have produced for the
+// same configuration, rewired to a fresh stream. Every backing array is
+// reused, so a pooled simulation pays no per-cell allocation for the large
+// structures (cache tags, predictor tables, register files). The caller
+// must guarantee the machine configuration is unchanged; the equivalence
+// with a freshly constructed core is what TestResetMatchesFresh checks.
+func (c *Core) Reset(stream trace.Stream) error {
+	if stream == nil {
+		return errors.New("cpu: nil instruction stream")
+	}
+	c.sys.Reset()
+	c.port.Reset()
+	c.pred.Reset()
+	c.stream = stream
+	c.cycle, c.seq = 0, 0
+	c.batcher = nil
+	if b, ok := stream.(trace.Batcher); ok {
+		c.batcher = b
+		if c.batchBuf == nil {
+			c.batchBuf = make([]isa.Inst, streamChunk)
+		}
+	}
+	c.batchPos, c.batchLen = 0, 0
+	clear(c.rob)
+	c.robHead, c.robCount = 0, 0
+	c.committed, c.maxInsts = 0, 0
+	c.issuedCount, c.neverStores = 0, 0
+	c.nextDoneAt = never
+	clear(c.intReady)
+	clear(c.fpReady)
+	c.intFree = c.intFree[:0]
+	c.fpFree = c.fpFree[:0]
+	for i := 0; i < 32; i++ {
+		c.intMap[i] = int16(i)
+		c.fpMap[i] = int16(i)
+	}
+	for i := 32; i < c.cfg.Core.IntPhysRegs; i++ {
+		c.intFree = append(c.intFree, int16(i))
+	}
+	for i := 32; i < c.cfg.Core.FPPhysRegs; i++ {
+		c.fpFree = append(c.fpFree, int16(i))
+	}
+	c.intQCount, c.fpQCount = 0, 0
+	c.lqCount, c.sqCount = 0, 0
+	c.intDivFreeAt, c.fpDivFreeAt = 0, 0
+	clear(c.fetchBuf)
+	c.fbHead, c.fbCount = 0, 0
+	c.fetchBlockedTil = 0
+	c.stallSeq = 0
+	c.stallOnCommit = false
+	c.curFetchLine = ^uint64(0)
+	c.havePending = false
+	c.pending = isa.Inst{}
+	c.streamDone = false
+	c.wrongPathPC, c.wrongPathLines = 0, 0
+	c.lastCommitSeq = 0
+	c.rec = nil
+	c.loads, c.stores, c.branches, c.mispredicts = 0, 0, 0, 0
+	c.memViolations, c.lsqForwards = 0, 0
+	c.userInsts, c.kernelInsts = 0, 0
+	c.fetchStallCycles, c.robFullCycles = 0, 0
+	c.commitStallSB = 0
+	c.classCount = [isa.NumClasses]uint64{}
+	return nil
 }
 
 // Port exposes the memory-port subsystem for inspection.
@@ -299,9 +393,62 @@ func (c *Core) Run(opts Options) (*Result, error) {
 	return c.result(), nil
 }
 
+// streamChunk is how many instructions a batched stream refill pulls.
+const streamChunk = 128
+
+// streamNext delivers the next stream instruction, through the chunk buffer
+// when the stream supports batching.
+//
+//portlint:hotpath
+func (c *Core) streamNext(in *isa.Inst) bool {
+	if c.batcher == nil {
+		return c.stream.Next(in)
+	}
+	if c.batchPos == c.batchLen {
+		c.batchLen = c.batcher.NextBatch(c.batchBuf)
+		c.batchPos = 0
+		if c.batchLen == 0 {
+			return false
+		}
+	}
+	*in = c.batchBuf[c.batchPos]
+	c.batchPos++
+	return true
+}
+
+// fbPush appends one instruction to the fetch-buffer ring. Callers must
+// check fbCount < len(fetchBuf) first.
+//
+//portlint:hotpath
+func (c *Core) fbPush(f fetchedInst) {
+	i := c.fbHead + c.fbCount
+	if n := len(c.fetchBuf); i >= n {
+		i -= n
+	}
+	c.fetchBuf[i] = f
+	c.fbCount++
+}
+
+// fbFront returns the oldest fetched instruction. Callers must check
+// fbCount > 0 first.
+//
+//portlint:hotpath
+func (c *Core) fbFront() *fetchedInst { return &c.fetchBuf[c.fbHead] }
+
+// fbPop removes the oldest fetched instruction.
+//
+//portlint:hotpath
+func (c *Core) fbPop() {
+	c.fbHead++
+	if c.fbHead == len(c.fetchBuf) {
+		c.fbHead = 0
+	}
+	c.fbCount--
+}
+
 // drained reports that no work remains anywhere in the machine.
 func (c *Core) drained() bool {
-	if c.robCount > 0 || len(c.fetchBuf) > 0 || c.havePending {
+	if c.robCount > 0 || c.fbCount > 0 || c.havePending {
 		return false
 	}
 	if c.limitReached() {
@@ -384,10 +531,22 @@ func (c *Core) result() *Result {
 	}
 }
 
-// robIndex converts a ring offset from head into a slice index.
-func (c *Core) robIndex(off int) int { return (c.robHead + off) % len(c.rob) }
+// robIndex converts a ring offset from head into a slice index. The offset
+// is always below robCount <= len(rob), so a single conditional subtract
+// replaces the much costlier modulo on this per-cycle-per-entry path.
+//
+//portlint:hotpath
+func (c *Core) robIndex(off int) int {
+	i := c.robHead + off
+	if n := len(c.rob); i >= n {
+		i -= n
+	}
+	return i
+}
 
 // commit retires up to CommitWidth completed instructions in program order.
+//
+//portlint:hotpath
 func (c *Core) commit() {
 	width := c.cfg.Core.CommitWidth
 	for n := 0; n < width && c.robCount > 0; n++ {
@@ -398,7 +557,9 @@ func (c *Core) commit() {
 		if e.inst.Class == isa.Store {
 			if !c.port.TryCommitStore(c.cycle, e.inst.Addr, int(e.inst.Size)) {
 				c.commitStallSB++
-				c.rec.Record(c.cycle, diag.EventStall, e.seq, e.inst.Addr)
+				if c.rec != nil {
+					c.rec.Record(c.cycle, diag.EventStall, e.seq, e.inst.Addr)
+				}
 				return
 			}
 		}
@@ -411,18 +572,22 @@ func (c *Core) commit() {
 // retire finalises one instruction: trains the predictor in program order,
 // releases the previous physical mapping, releases fetch stalls owned by
 // serialising instructions, and updates counters.
+//
+//portlint:hotpath
 func (c *Core) retire(e *robEntry) {
 	if e.seq <= c.lastCommitSeq {
 		panic(fmt.Sprintf("cpu: commit out of order: seq %d after %d", e.seq, c.lastCommitSeq))
 	}
 	c.lastCommitSeq = e.seq
-	c.rec.Record(c.cycle, diag.EventCommit, e.seq, e.inst.PC)
+	if c.rec != nil {
+		c.rec.Record(c.cycle, diag.EventCommit, e.seq, e.inst.PC)
+	}
 	in := &e.inst
 	if e.prevPhys >= 0 {
 		if in.Dest.IsFP() {
-			c.fpFree = append(c.fpFree, e.prevPhys)
+			c.fpFree = append(c.fpFree, e.prevPhys) //portlint:ignore hotpath free-list capacity is FPPhysRegs, fixed at construction; the renamer's conservation law keeps len <= cap
 		} else {
-			c.intFree = append(c.intFree, e.prevPhys)
+			c.intFree = append(c.intFree, e.prevPhys) //portlint:ignore hotpath free-list capacity is IntPhysRegs, fixed at construction; the renamer's conservation law keeps len <= cap
 		}
 	}
 	if e.mispredicted {
@@ -460,19 +625,54 @@ func (c *Core) retire(e *robEntry) {
 // complete promotes issued entries whose completion time has arrived.
 // Address-issued stores whose data producer was unscheduled at issue time
 // get their completion time finalised here once the producer schedules.
+//
+// The scan is skipped outright when the bookkeeping proves no entry can
+// transition this cycle: nothing is issued, or every issued entry has a
+// known completion time later than now. During a long miss shadow this
+// replaces a full ROB walk per cycle with two integer compares.
+//
+//portlint:hotpath
 func (c *Core) complete() {
+	if c.issuedCount == 0 || (c.neverStores == 0 && c.nextDoneAt > c.cycle) {
+		return
+	}
+	next := uint64(never)
 	for off := 0; off < c.robCount; off++ {
 		e := &c.rob[c.robIndex(off)]
-		if e.state == stateIssued && e.doneAt == never && e.inst.Class == isa.Store {
-			e.doneAt = c.storeDoneAt(e)
+		if e.state != stateIssued {
+			continue
 		}
-		if e.state == stateIssued && e.doneAt <= c.cycle {
+		if e.doneAt == never && e.inst.Class == isa.Store {
+			if d := c.storeDoneAt(e); d != never {
+				e.doneAt = d
+				c.neverStores--
+			}
+		}
+		if e.doneAt <= c.cycle {
 			e.state = stateDone
+			c.issuedCount--
 			if e.mispredicted && c.stallSeq == e.seq && !e.serialize {
 				// Misprediction resolved: redirect fetch.
 				c.stallSeq = 0
 				c.fetchBlockedTil = e.doneAt + uint64(c.cfg.Core.MispredictPenalty)
 			}
+		} else if e.doneAt < next {
+			next = e.doneAt
 		}
+	}
+	c.nextDoneAt = next
+}
+
+// noteIssued records that an entry entered stateIssued with completion time
+// doneAt (possibly never, for an address-issued store awaiting its data
+// producer), keeping complete's skip bookkeeping exact.
+//
+//portlint:hotpath
+func (c *Core) noteIssued(doneAt uint64) {
+	c.issuedCount++
+	if doneAt == never {
+		c.neverStores++
+	} else if doneAt < c.nextDoneAt {
+		c.nextDoneAt = doneAt
 	}
 }

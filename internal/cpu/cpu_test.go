@@ -61,8 +61,8 @@ func run(t *testing.T, m config.Machine, insts []isa.Inst) *Result {
 // never both, never neither.
 func checkInvariants(t *testing.T, c *Core) {
 	t.Helper()
-	if c.robCount != 0 || len(c.fetchBuf) != 0 {
-		t.Fatalf("machine not drained: rob=%d fetchBuf=%d", c.robCount, len(c.fetchBuf))
+	if c.robCount != 0 || c.fbCount != 0 {
+		t.Fatalf("machine not drained: rob=%d fetchBuf=%d", c.robCount, c.fbCount)
 	}
 	if c.lqCount != 0 || c.sqCount != 0 || c.intQCount != 0 || c.fpQCount != 0 {
 		t.Fatalf("queue counters nonzero after drain: lq=%d sq=%d int=%d fp=%d",

@@ -10,6 +10,8 @@ import (
 // branch predictor. A predicted-taken control transfer ends the fetch group;
 // a misprediction (or a serialising syscall) stalls fetch until the
 // offending instruction resolves (or commits).
+//
+//portlint:hotpath
 func (c *Core) fetch() {
 	if c.stallSeq != 0 || c.cycle < c.fetchBlockedTil {
 		c.fetchStallCycles++
@@ -27,12 +29,12 @@ func (c *Core) fetch() {
 	c.wrongPathPC = 0
 	lineMask := ^uint64(uint64(c.cfg.L1I.LineBytes) - 1)
 	fetched := 0
-	for fetched < c.cfg.Core.FetchWidth && len(c.fetchBuf) < c.fetchBufCap {
+	for fetched < c.cfg.Core.FetchWidth && c.fbCount < len(c.fetchBuf) {
 		if c.limitReached() {
 			return
 		}
 		if !c.havePending {
-			if c.streamDone || !c.stream.Next(&c.pending) {
+			if c.streamDone || !c.streamNext(&c.pending) {
 				c.streamDone = true
 				return
 			}
@@ -66,8 +68,10 @@ func (c *Core) fetch() {
 		if in.Class.IsCtrl() {
 			c.predict(&f)
 		}
-		c.fetchBuf = append(c.fetchBuf, f)
-		c.rec.Record(c.cycle, diag.EventFetch, f.seq, in.PC)
+		c.fbPush(f)
+		if c.rec != nil {
+			c.rec.Record(c.cycle, diag.EventFetch, f.seq, in.PC)
+		}
 		fetched++
 		if f.mispredicted || f.serialize {
 			// Fetch stops until this instruction resolves (branch)

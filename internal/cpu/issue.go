@@ -9,13 +9,15 @@ import (
 // fetch buffer into the reorder buffer and issue bookkeeping. It stalls on
 // any exhausted resource: ROB slots, physical registers, issue-queue or
 // load/store-queue occupancy.
+//
+//portlint:hotpath
 func (c *Core) dispatch() {
-	for n := 0; n < c.cfg.Core.DecodeWidth && len(c.fetchBuf) > 0; n++ {
+	for n := 0; n < c.cfg.Core.DecodeWidth && c.fbCount > 0; n++ {
 		if c.robCount == len(c.rob) {
 			c.robFullCycles++
 			return
 		}
-		f := &c.fetchBuf[0]
+		f := c.fbFront()
 		in := &f.inst
 		// Queue-occupancy gating.
 		switch {
@@ -78,11 +80,12 @@ func (c *Core) dispatch() {
 			// stall it already owns.
 			e.state = stateIssued
 			e.doneAt = c.cycle + 1
+			c.noteIssued(e.doneAt)
 		default:
 			c.intQCount++
 		}
 		c.robCount++
-		c.fetchBuf = c.fetchBuf[1:]
+		c.fbPop()
 	}
 }
 
@@ -165,6 +168,8 @@ type fuState struct {
 // issue scans the reorder buffer oldest-first and starts execution of every
 // dispatched instruction whose operands are available and whose functional
 // unit (or memory-port path) is free this cycle.
+//
+//portlint:hotpath
 func (c *Core) issue() {
 	var fu fuState
 	lat := &c.cfg.Lat
@@ -227,7 +232,12 @@ func (c *Core) issue() {
 		}
 	}
 	// Stores issue on address availability alone, so they are scheduled
-	// in a second pass that ignores the data operand's readiness.
+	// in a second pass that ignores the data operand's readiness. sqCount
+	// tracks stores resident in the ROB, so a zero count proves the pass
+	// would find nothing.
+	if c.sqCount == 0 {
+		return
+	}
 	for off := 0; off < c.robCount && fu.issued < c.cfg.Core.IssueWidth; off++ {
 		e := &c.rob[c.robIndex(off)]
 		if e.state != stateDispatched || e.inst.Class != isa.Store {
@@ -243,11 +253,16 @@ func (c *Core) issue() {
 
 // start transitions an entry to issued with the given completion time and
 // releases its issue-queue slot.
+//
+//portlint:hotpath
 func (c *Core) start(e *robEntry, fu *fuState, doneAt uint64) {
 	e.state = stateIssued
 	e.doneAt = doneAt
+	c.noteIssued(doneAt)
 	c.setDestReady(e, doneAt)
-	c.rec.Record(c.cycle, diag.EventIssue, e.seq, e.inst.Addr)
+	if c.rec != nil {
+		c.rec.Record(c.cycle, diag.EventIssue, e.seq, e.inst.Addr)
+	}
 	fu.issued++
 	switch {
 	case e.inst.Class == isa.Load || e.inst.Class == isa.Store:
@@ -287,6 +302,7 @@ func (c *Core) issueStore(e *robEntry, fu *fuState, addrOpReady uint64) {
 	e.addrReadyAt = c.cycle
 	e.state = stateIssued
 	e.doneAt = c.storeDoneAt(e)
+	c.noteIssued(e.doneAt)
 	if c.cfg.Core.SpeculativeLoads {
 		c.checkMemOrder(e)
 	}
@@ -329,8 +345,16 @@ func (c *Core) checkMemOrder(store *robEntry) {
 			// The load's data is refetched from the store: delay its
 			// completion past the store's.
 			if redo := c.cycle + 1; e.doneAt < redo {
+				if e.state == stateDone {
+					// Re-issuing a completed load; complete's
+					// bookkeeping must see it again.
+					c.issuedCount++
+				}
 				e.doneAt = redo
 				e.state = stateIssued
+				if redo < c.nextDoneAt {
+					c.nextDoneAt = redo
+				}
 				c.setDestReady(e, redo)
 			}
 			return
@@ -340,6 +364,8 @@ func (c *Core) checkMemOrder(store *robEntry) {
 
 // issueLoad tries to start a load: address generated, older store addresses
 // known, store-to-load forwarding or a memory-port access.
+//
+//portlint:hotpath
 func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
 	if fu.memOps >= c.cfg.Core.MemIssuePerCycle {
 		return
@@ -352,26 +378,30 @@ func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
 	// every older store must have a known address before the load may
 	// proceed. With SpeculativeLoads, unknown-address stores are assumed
 	// non-conflicting; issueStore detects violations when they resolve.
+	// A zero sqCount proves there is no older store to disambiguate
+	// against, skipping the backward scan entirely.
 	var cover *robEntry // youngest older store fully covering the load
-	for prev := off - 1; prev >= 0; prev-- {
-		s := &c.rob[c.robIndex(prev)]
-		if s.inst.Class != isa.Store {
-			continue
-		}
-		if s.state == stateDispatched {
-			if c.cfg.Core.SpeculativeLoads {
-				continue // speculate past the unresolved store
+	if c.sqCount > 0 {
+		for prev := off - 1; prev >= 0; prev-- {
+			s := &c.rob[c.robIndex(prev)]
+			if s.inst.Class != isa.Store {
+				continue
 			}
-			return // address unknown: stall
-		}
-		a, sz := in.Addr, uint64(in.Size)
-		b, st := s.inst.Addr, uint64(s.inst.Size)
-		if a < b+st && b < a+sz { // overlap
-			if b <= a && a+sz <= b+st {
-				cover = s
-				break
+			if s.state == stateDispatched {
+				if c.cfg.Core.SpeculativeLoads {
+					continue // speculate past the unresolved store
+				}
+				return // address unknown: stall
 			}
-			return // partial overlap: wait for the store to commit
+			a, sz := in.Addr, uint64(in.Size)
+			b, st := s.inst.Addr, uint64(s.inst.Size)
+			if a < b+st && b < a+sz { // overlap
+				if b <= a && a+sz <= b+st {
+					cover = s
+					break
+				}
+				return // partial overlap: wait for the store to commit
+			}
 		}
 	}
 	if cover != nil {

@@ -1,0 +1,124 @@
+package cpu
+
+import (
+	"testing"
+
+	"portsim/internal/config"
+	"portsim/internal/workload"
+)
+
+// resetRun simulates one workload on the core and returns the result.
+func resetRun(t *testing.T, c *Core, insts uint64) *Result {
+	t.Helper()
+	res, err := c.Run(Options{
+		MaxInstructions: insts,
+		DeadlineCycles:  DeadlineFor(insts),
+		StallCycles:     DefaultStallCycles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// requireSameResult fails unless two results agree on every number the
+// experiment tables could render, including the full counter set.
+func requireSameResult(t *testing.T, what string, got, want *Result) {
+	t.Helper()
+	if got.Cycles != want.Cycles || got.Instructions != want.Instructions || got.IPC != want.IPC {
+		t.Fatalf("%s: headline mismatch: got cycles=%d insts=%d ipc=%v, want cycles=%d insts=%d ipc=%v",
+			what, got.Cycles, got.Instructions, got.IPC, want.Cycles, want.Instructions, want.IPC)
+	}
+	if got.UserInsts != want.UserInsts || got.KernelInsts != want.KernelInsts ||
+		got.Loads != want.Loads || got.Stores != want.Stores ||
+		got.Branches != want.Branches || got.Mispredicts != want.Mispredicts {
+		t.Fatalf("%s: class-count mismatch:\ngot  %+v\nwant %+v", what, got, want)
+	}
+	if gs, ws := got.Counters.String(), want.Counters.String(); gs != ws {
+		t.Fatalf("%s: counter sets differ:\ngot:\n%s\nwant:\n%s", what, gs, ws)
+	}
+}
+
+// TestResetMatchesFresh is the contract behind the experiment runner's core
+// pool: a core that already ran one workload and was Reset for another must
+// produce a result bit-identical to a freshly constructed core running that
+// other workload. Any subsystem field that Reset forgets to restore shows up
+// here as a counter or cycle-count divergence.
+func TestResetMatchesFresh(t *testing.T) {
+	const insts = 25_000
+	machines := []config.Machine{config.Baseline(), config.BestSingle(), config.DualPort()}
+	for _, m := range machines {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			// The warm-up and measured workloads differ on purpose: a
+			// stale-state bug only shows when the histories disagree.
+			warm, err := workload.New(mustProfile(t, "compress"), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meas, err := workload.New(mustProfile(t, "database"), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			reused, err := New(&m, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resetRun(t, reused, insts)
+			if err := reused.Reset(meas); err != nil {
+				t.Fatal(err)
+			}
+			got := resetRun(t, reused, insts)
+
+			measFresh, err := workload.New(mustProfile(t, "database"), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := New(&m, measFresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := resetRun(t, fresh, insts)
+
+			requireSameResult(t, "reset-vs-fresh", got, want)
+			checkInvariants(t, reused)
+		})
+	}
+}
+
+// TestResetRepeatedly reuses one core across several cycles of the same
+// workload; every pass must reproduce the first bit-for-bit.
+func TestResetRepeatedly(t *testing.T) {
+	const insts = 15_000
+	m := config.BestSingle()
+	g, err := workload.New(mustProfile(t, "eqntott"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(&m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resetRun(t, c, insts)
+	for pass := 0; pass < 3; pass++ {
+		g, err := workload.New(mustProfile(t, "eqntott"), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Reset(g); err != nil {
+			t.Fatal(err)
+		}
+		got := resetRun(t, c, insts)
+		requireSameResult(t, "repeat pass", got, want)
+	}
+}
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	return p
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+
+	"portsim/internal/config"
+)
+
+// TestPoolReusesCoresIdentically exercises the runner's core pool directly:
+// several workloads on the same machine configuration share one pooled core
+// (distinct workloads defeat the memo cache, so each Run is a real
+// simulation), and the pooled results must match a pool-cold runner's
+// bit-for-bit.
+func TestPoolReusesCoresIdentically(t *testing.T) {
+	spec := QuickSpec()
+	spec.Parallel = 1 // serialise so every cell after the first can hit the pool
+	warm := NewRunner(spec)
+	m := config.Baseline()
+	type key struct{ cycles, insts uint64 }
+	got := make(map[string]key)
+	for _, w := range spec.Workloads {
+		res, err := warm.Run(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[w] = key{res.Cycles, res.Instructions}
+	}
+	hits, misses := warm.PoolStats()
+	if hits == 0 {
+		t.Fatalf("pool never hit across %d distinct cells (misses=%d)", len(spec.Workloads), misses)
+	}
+	if misses == 0 {
+		t.Fatal("pool reported zero misses; the first cell must build a core")
+	}
+
+	// A fresh runner per workload can never reuse a core; its results are
+	// the pool-free reference.
+	for _, w := range spec.Workloads {
+		cold := NewRunner(spec)
+		res, err := cold.Run(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h, _ := cold.PoolStats(); h != 0 {
+			t.Fatalf("cold runner somehow hit its pool (%d)", h)
+		}
+		if got[w] != (key{res.Cycles, res.Instructions}) {
+			t.Fatalf("%s: pooled result %+v differs from pool-cold %+v", w, got[w], key{res.Cycles, res.Instructions})
+		}
+	}
+}
+
+// TestPoolSkipsFaultArmedCells checks that fault-injected cells never share
+// cores with healthy ones: arming mutates the machine configuration, so a
+// pooled core would leak the mutation into healthy cells.
+func TestPoolSkipsFaultArmedCells(t *testing.T) {
+	spec := QuickSpec()
+	spec.Parallel = 1
+	spec.Fault = &Fault{Mode: FaultPanic, Workload: spec.Workloads[0], After: 1000}
+	r := NewRunner(spec)
+	m := config.Baseline()
+	if _, err := r.Run(m, spec.Workloads[0]); err == nil {
+		t.Fatal("fault-armed cell unexpectedly succeeded")
+	}
+	if hits, misses := r.PoolStats(); hits != 0 || misses != 0 {
+		t.Fatalf("fault-armed cell touched the pool: hits=%d misses=%d", hits, misses)
+	}
+	// A healthy workload on the same runner still pools normally.
+	if _, err := r.Run(m, spec.Workloads[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := r.PoolStats(); misses != 1 {
+		t.Fatalf("healthy cell should have built (and pooled) one core, misses=%d", misses)
+	}
+}

@@ -70,6 +70,15 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]*memoEntry
 
+	// Core pool: finished cores keyed by machine-config JSON, reset and
+	// reused by later cells with the identical configuration so a campaign
+	// does not reallocate cache tags, predictor tables and register files
+	// per cell. Cores from failed or panicked cells are never returned.
+	poolMu   sync.Mutex
+	pool     map[string][]*cpu.Core
+	poolHits atomic.Uint64
+	poolMiss atomic.Uint64
+
 	// simCycles and simInsts accumulate over actual simulations only —
 	// memoised cache hits are excluded — so host-throughput reports
 	// (cmd/portbench) divide real simulated work by real wall time.
@@ -89,7 +98,12 @@ func NewRunner(spec Spec) *Runner {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{spec: spec, parallel: parallel, cache: make(map[string]*memoEntry)}
+	return &Runner{
+		spec:     spec,
+		parallel: parallel,
+		cache:    make(map[string]*memoEntry),
+		pool:     make(map[string][]*cpu.Core),
+	}
 }
 
 // Spec returns the runner's spec.
@@ -205,6 +219,55 @@ func (r *Runner) runProfile(m config.Machine, prof workload.Profile) (*cpu.Resul
 	return res, err
 }
 
+// acquireCore returns a core for the machine, reusing a pooled one (reset
+// for the new stream) when an identical configuration has already finished
+// a cell. The returned key re-pools the core via releaseCore; an empty key
+// means the core is not poolable (fault-armed cells mutate their machine
+// configuration mid-construction, so their cores are built and dropped).
+func (r *Runner) acquireCore(m *config.Machine, stream trace.Stream, poolable bool) (*cpu.Core, string, error) {
+	if !poolable {
+		c, err := cpu.New(m, stream)
+		return c, "", err
+	}
+	cfgJSON, err := m.ToJSON()
+	if err != nil {
+		return nil, "", err
+	}
+	key := string(cfgJSON)
+	r.poolMu.Lock()
+	if cores := r.pool[key]; len(cores) > 0 {
+		c := cores[len(cores)-1]
+		r.pool[key] = cores[:len(cores)-1]
+		r.poolMu.Unlock()
+		r.poolHits.Add(1)
+		return c, key, c.Reset(stream)
+	}
+	r.poolMu.Unlock()
+	r.poolMiss.Add(1)
+	c, err := cpu.New(m, stream)
+	return c, key, err
+}
+
+// releaseCore returns a healthy core to the pool. The per-key depth is
+// bounded by the worker count: beyond that, extra cores could never be in
+// use simultaneously anyway.
+func (r *Runner) releaseCore(key string, c *cpu.Core) {
+	if key == "" {
+		return
+	}
+	r.poolMu.Lock()
+	if len(r.pool[key]) < r.parallel {
+		r.pool[key] = append(r.pool[key], c)
+	}
+	r.poolMu.Unlock()
+}
+
+// PoolStats reports how many cells reused a pooled core versus built one,
+// for tests and throughput diagnostics.
+func (r *Runner) PoolStats() (hits, misses uint64) {
+	return r.poolHits.Load(), r.poolMiss.Load()
+}
+
 // runStream simulates an arbitrary stream (not memoised). This is the cell
 // crash boundary: a panic anywhere in the simulation — the stream, the
 // pipeline model, the memory system — is contained here into a CellError
@@ -213,10 +276,11 @@ func (r *Runner) runProfile(m config.Machine, prof workload.Profile) (*cpu.Resul
 // are wrapped into CellErrors with the same context, minus the stack.
 func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (res *cpu.Result, err error) {
 	var rec *diag.Recorder
-	if r.spec.FlightRecorder || r.spec.Fault.applies(what) {
+	poolable := !r.spec.Fault.applies(what)
+	if r.spec.FlightRecorder || !poolable {
 		rec = diag.NewRecorder(0)
 	}
-	if r.spec.Fault.applies(what) {
+	if !poolable {
 		stream = r.spec.Fault.arm(&m, stream)
 	}
 	cellErr := func(stack string, cause error) *CellError {
@@ -236,7 +300,7 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 			err = cellErr(string(debug.Stack()), fmt.Errorf("%w: %v", ErrCellPanic, p))
 		}
 	}()
-	c, err := cpu.New(&m, stream)
+	c, key, err := r.acquireCore(&m, stream, poolable)
 	if err != nil {
 		return nil, err
 	}
@@ -247,10 +311,13 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 		Recorder:        rec,
 	})
 	if err != nil {
+		// The failed core is dropped, not pooled: its state is part of
+		// the failure evidence and may be wedged.
 		return nil, cellErr("", fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err))
 	}
 	r.simCycles.Add(res.Cycles)
 	r.simInsts.Add(res.Instructions)
+	r.releaseCore(key, c)
 	return res, nil
 }
 

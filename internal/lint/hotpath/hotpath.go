@@ -1,0 +1,203 @@
+// Package hotpath implements the portlint analyzer that keeps the
+// simulator's cycle loop allocation-free. Functions marked with a
+// //portlint:hotpath directive in their doc comment run once (or more) per
+// simulated cycle across every cell of every experiment; a single heap
+// allocation there multiplies into millions per campaign and shows up
+// directly in the BENCH_*.json allocs/1k-cycles trajectory. Inside a marked
+// function (and any function literal it contains) the analyzer flags:
+//
+//   - calls into package fmt, except inside the arguments of a panic call:
+//     formatting allocates, but a panicking cycle loop is already off the
+//     hot path and owes the operator a readable message.
+//   - map composite literals and make(map[...]...), which always allocate;
+//     hot-path lookups belong in flat slices or fixed-size arrays.
+//   - make and new of any type: per-cycle scratch must be pre-allocated at
+//     construction time and reused.
+//   - append into anything except a reuse slice — a local variable bound to
+//     an expression of the form base[:0] (the compact-in-place idiom, which
+//     recycles base's backing array and cannot grow while the function
+//     keeps total length <= len(base)). Any other append target may grow
+//     an escaping slice and is flagged.
+//
+// A site whose safety rests on an invariant the analyzer cannot see (for
+// example a free-list append whose capacity equals the physical register
+// count, fixed at construction) carries a //portlint:ignore hotpath comment
+// stating the invariant, exactly like the other portlint analyzers.
+//
+// Test files are not analyzed.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"portsim/internal/lint/analysis"
+)
+
+// directive is the doc-comment marker that opts a function in.
+const directive = "//portlint:hotpath"
+
+// Analyzer is the hotpath analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "flags heap allocations (fmt, map literals, make/new, growing append) " +
+		"inside functions marked //portlint:hotpath",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !marked(fn) {
+				continue
+			}
+			check(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// marked reports whether the function's doc comment carries the directive.
+func marked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// check walks one marked function body. reuse collects the local variables
+// bound to base[:0] reslices before the flagging pass so that declaration
+// order inside the body does not matter.
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	reuse := reuseSlices(body)
+	walk(pass, body, reuse, false)
+}
+
+// reuseSlices returns the names of local variables assigned a value of the
+// form base[:0] anywhere in the body.
+func reuseSlices(body *ast.BlockStmt) map[string]bool {
+	reuse := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isZeroReslice(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				reuse[id.Name] = true
+			}
+		}
+		return true
+	})
+	return reuse
+}
+
+// isZeroReslice matches base[:0] (and base[0:0]).
+func isZeroReslice(e ast.Expr) bool {
+	s, ok := e.(*ast.SliceExpr)
+	if !ok || s.Slice3 || s.High == nil {
+		return false
+	}
+	if s.Low != nil && !isIntLiteral(s.Low, "0") {
+		return false
+	}
+	return isIntLiteral(s.High, "0")
+}
+
+func isIntLiteral(e ast.Expr, lit string) bool {
+	b, ok := e.(*ast.BasicLit)
+	return ok && b.Value == lit
+}
+
+// walk descends the AST flagging allocation sites. inPanic is true while
+// inside the argument list of a panic call, where fmt is tolerated.
+func walk(pass *analysis.Pass, n ast.Node, reuse map[string]bool, inPanic bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(pass, e, "panic"):
+				for _, arg := range e.Args {
+					walk(pass, arg, reuse, true)
+				}
+				return false
+			case isFmtCall(pass, e):
+				if !inPanic {
+					pass.Reportf(e.Pos(), "fmt call in a //portlint:hotpath function allocates; format off the hot path (fmt is tolerated only inside panic arguments)")
+				}
+			case isBuiltin(pass, e, "make"):
+				if len(e.Args) > 0 && isMapType(pass, e.Args[0]) {
+					pass.Reportf(e.Pos(), "make(map) in a //portlint:hotpath function allocates; use a flat slice or fixed-size array keyed by index")
+				} else {
+					pass.Reportf(e.Pos(), "make in a //portlint:hotpath function allocates per call; pre-allocate at construction and reuse")
+				}
+			case isBuiltin(pass, e, "new"):
+				pass.Reportf(e.Pos(), "new in a //portlint:hotpath function allocates per call; pre-allocate at construction and reuse")
+			case isBuiltin(pass, e, "append"):
+				if len(e.Args) > 0 && !isReuseTarget(e.Args[0], reuse) {
+					pass.Reportf(e.Pos(), "append into %s in a //portlint:hotpath function may grow an escaping slice; append only into base[:0] reuse slices (or //portlint:ignore hotpath with the capacity invariant)", types.ExprString(e.Args[0]))
+				}
+			}
+		case *ast.CompositeLit:
+			if isMapType(pass, e) {
+				pass.Reportf(e.Pos(), "map literal in a //portlint:hotpath function allocates; hoist it to a package-level variable or construction time")
+			}
+		}
+		return true
+	})
+}
+
+// isReuseTarget reports whether an append destination is a reuse slice: a
+// base[:0] expression directly, or a local variable bound to one.
+func isReuseTarget(dst ast.Expr, reuse map[string]bool) bool {
+	if isZeroReslice(dst) {
+		return true
+	}
+	id, ok := dst.(*ast.Ident)
+	return ok && reuse[id.Name]
+}
+
+// isBuiltin reports whether the call's function is the named Go builtin
+// (and not a shadowing local identifier).
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isFmtCall reports whether the call is a selector into package fmt.
+func isFmtCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "fmt"
+}
+
+// isMapType reports whether the expression's type is a map.
+func isMapType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

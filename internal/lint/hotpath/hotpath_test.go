@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "a")
+}

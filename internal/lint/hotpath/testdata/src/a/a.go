@@ -1,0 +1,64 @@
+// Package a is a hotpath fixture: allocation sites inside marked functions
+// are flagged; the same constructs in unmarked functions are not, and the
+// sanctioned idioms (panic formatting, base[:0] reuse appends, suppression
+// with an invariant) stay silent.
+package a
+
+import "fmt"
+
+type ring struct {
+	entries []int
+	scratch []int
+	free    []int16
+}
+
+// tick is the planted violation: every rule fires in one marked function.
+//
+//portlint:hotpath
+func (r *ring) tick(n int) {
+	fmt.Println("cycle", n) // want `fmt call in a //portlint:hotpath function allocates`
+	m := map[int]bool{}     // want `map literal in a //portlint:hotpath function allocates`
+	_ = m
+	lut := make(map[int]int) // want `make\(map\) in a //portlint:hotpath function allocates`
+	_ = lut
+	buf := make([]int, n) // want `make in a //portlint:hotpath function allocates per call`
+	_ = buf
+	p := new(ring) // want `new in a //portlint:hotpath function allocates per call`
+	_ = p
+	r.entries = append(r.entries, n) // want `append into r.entries in a //portlint:hotpath function may grow an escaping slice`
+}
+
+// compact shows the sanctioned idioms: panic may format, and appends into
+// base[:0] reuse slices recycle existing storage.
+//
+//portlint:hotpath
+func (r *ring) compact(now int) {
+	if now < 0 {
+		panic(fmt.Sprintf("ring: negative cycle %d", now))
+	}
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if e >= now {
+			kept = append(kept, e)
+		}
+	}
+	r.entries = kept
+	r.scratch = append(r.scratch[:0], kept...)
+}
+
+// release demonstrates the documented escape hatch for a capacity-stable
+// append the analyzer cannot prove safe.
+//
+//portlint:hotpath
+func (r *ring) release(p int16) {
+	r.free = append(r.free, p) //portlint:ignore hotpath free list capacity is fixed at construction
+}
+
+// cold is unmarked: identical constructs draw no diagnostics.
+func (r *ring) cold(n int) {
+	fmt.Println("cold", n)
+	_ = map[int]bool{}
+	_ = make(map[int]int)
+	_ = make([]int, n)
+	r.entries = append(r.entries, n)
+}

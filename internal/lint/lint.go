@@ -16,6 +16,7 @@ import (
 	"portsim/internal/lint/cyclemath"
 	"portsim/internal/lint/detrand"
 	"portsim/internal/lint/floatcmp"
+	"portsim/internal/lint/hotpath"
 	"portsim/internal/lint/loader"
 	"portsim/internal/lint/recoverhygiene"
 )
@@ -28,6 +29,7 @@ func Suite() []*analysis.Analyzer {
 		cyclemath.Analyzer,
 		detrand.Analyzer,
 		floatcmp.Analyzer,
+		hotpath.Analyzer,
 		recoverhygiene.Analyzer,
 	}
 }

@@ -48,37 +48,71 @@ func (d *DRAM) Access(now uint64) uint64 {
 // Accesses returns the number of DRAM accesses performed.
 func (d *DRAM) Accesses() uint64 { return d.accesses }
 
-// mshrFile tracks outstanding line fills for one cache level.
+// Reset restores the just-constructed state (channel idle, no accesses).
+func (d *DRAM) Reset() {
+	d.nextFree = 0
+	d.accesses = 0
+}
+
+// mshrEntry is one outstanding line fill: the line address and the cycle
+// the fill completes.
+type mshrEntry struct {
+	line, done uint64
+}
+
+// mshrFile tracks outstanding line fills for one cache level. The file is a
+// small flat slice rather than a map: MSHR counts are single digits in every
+// machine configuration, so a linear scan beats hashing and keeps the cycle
+// loop allocation-free.
 type mshrFile struct {
-	limit int               // 0 means unlimited
-	fills map[uint64]uint64 // line address -> cycle the fill completes
+	limit int         // 0 means unlimited
+	fills []mshrEntry // outstanding fills, oldest first
 }
 
 func newMSHRFile(limit int) *mshrFile {
-	return &mshrFile{limit: limit, fills: make(map[uint64]uint64)}
+	capHint := limit
+	if capHint <= 0 {
+		capHint = 8
+	}
+	return &mshrFile{limit: limit, fills: make([]mshrEntry, 0, capHint)}
 }
 
-// expire drops completed fills.
+// expire drops completed fills, preserving the order of the survivors.
+//
+//portlint:hotpath
 func (f *mshrFile) expire(now uint64) {
-	for addr, done := range f.fills {
-		if done <= now {
-			delete(f.fills, addr)
+	kept := f.fills[:0]
+	for _, e := range f.fills {
+		if e.done > now {
+			kept = append(kept, e)
 		}
 	}
+	f.fills = kept
 }
 
 // outstanding returns the fill-completion cycle for a line if one is in
 // flight.
+//
+//portlint:hotpath
 func (f *mshrFile) outstanding(lineAddr uint64) (uint64, bool) {
-	done, ok := f.fills[lineAddr]
-	return done, ok
+	for i := range f.fills {
+		if f.fills[i].line == lineAddr {
+			return f.fills[i].done, true
+		}
+	}
+	return 0, false
 }
+
+// reset drops every outstanding fill.
+func (f *mshrFile) reset() { f.fills = f.fills[:0] }
 
 // full reports whether a new fill cannot be accepted.
 func (f *mshrFile) full() bool { return f.limit > 0 && len(f.fills) >= f.limit }
 
 // add records a new outstanding fill.
-func (f *mshrFile) add(lineAddr, done uint64) { f.fills[lineAddr] = done }
+func (f *mshrFile) add(lineAddr, done uint64) {
+	f.fills = append(f.fills, mshrEntry{line: lineAddr, done: done})
+}
 
 // AccessResult describes the outcome of a hierarchy access.
 type AccessResult struct {
@@ -157,6 +191,23 @@ func NewSystem(m *config.Machine) (*System, error) {
 
 // DRAMAccesses returns the number of DRAM accesses (fills plus writebacks).
 func (s *System) DRAMAccesses() uint64 { return s.dram.Accesses() }
+
+// Reset restores the whole hierarchy — caches, TLBs, MSHR files, DRAM — to
+// its just-constructed state, reusing every backing array. Pooled
+// simulations call this between cells so a campaign does not reallocate
+// the (large) cache and predictor structures per cell.
+func (s *System) Reset() {
+	s.L1I.Reset()
+	s.L1D.Reset()
+	s.L2.Reset()
+	s.ITLB.Reset()
+	s.DTLB.Reset()
+	s.dram.Reset()
+	s.l1iMSHR.reset()
+	s.l1dMSHR.reset()
+	s.l2MSHR.reset()
+	s.l2Writebacks = 0
+}
 
 // fillFromL2 charges the time to obtain a line from L2 (or below) starting
 // at cycle `at`, installing it into L2 as needed, and returns the cycle the

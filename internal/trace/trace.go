@@ -23,6 +23,18 @@ type Stream interface {
 	Next(in *isa.Inst) bool
 }
 
+// Batcher is an optional extension of Stream: implementations can fill a
+// whole slice of instructions in one call, so a consumer pays one dynamic
+// dispatch per chunk instead of one per instruction. NextBatch fills a
+// prefix of dst and returns its length; a count shorter than len(dst)
+// means the stream is exhausted. The filled prefix must be exactly the
+// sequence the same number of Next calls would have produced — batching is
+// a calling convention, never a semantic change.
+type Batcher interface {
+	Stream
+	NextBatch(dst []isa.Inst) int
+}
+
 // SliceStream replays a fixed instruction slice; used heavily in tests to
 // drive the core with hand-built programs.
 type SliceStream struct {

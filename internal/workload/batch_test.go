@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"portsim/internal/isa"
+	"portsim/internal/trace"
+)
+
+var _ trace.Batcher = (*Generator)(nil)
+var _ trace.Batcher = (*Multiprogram)(nil)
+
+// TestNextBatchMatchesNext is the golden equivalence test for batched
+// generation: for every named workload and several seeds, pulling the
+// stream through NextBatch — in deliberately awkward chunk sizes — must
+// produce instruction-for-instruction the same sequence as per-call Next.
+// This is the property that lets the simulator batch fetch without
+// perturbing a single emitted number.
+func TestNextBatchMatchesNext(t *testing.T) {
+	const n = 20_000
+	chunkSizes := []int{1, 3, 7, 64, 128, 1000}
+	for _, name := range Names() {
+		for _, seed := range []int64{1, 42, 987654321} {
+			prof, ok := ByName(name)
+			if !ok {
+				t.Fatalf("workload %q vanished", name)
+			}
+			ref, err := New(prof, seed)
+			if err != nil {
+				t.Fatalf("New(%s, %d): %v", name, seed, err)
+			}
+			batched, err := New(prof, seed)
+			if err != nil {
+				t.Fatalf("New(%s, %d): %v", name, seed, err)
+			}
+			want := make([]isa.Inst, n)
+			for i := range want {
+				if !ref.Next(&want[i]) {
+					t.Fatalf("%s/%d: generator exhausted at %d", name, seed, i)
+				}
+			}
+			got := drainBatched(t, batched, n, chunkSizes)
+			compareStreams(t, name, seed, want, got)
+		}
+	}
+}
+
+// TestMultiprogramNextBatchMatchesNext covers the multiprogrammed wrapper,
+// whose quantum countdown and injected switch markers must survive
+// batching unchanged.
+func TestMultiprogramNextBatchMatchesNext(t *testing.T) {
+	const n = 20_000
+	prof, ok := ByName("compress")
+	if !ok {
+		t.Fatal("compress workload missing")
+	}
+	for _, procs := range []int{1, 4} {
+		ref, err := NewMultiprogram(prof, procs, 2_000, 7)
+		if err != nil {
+			t.Fatalf("NewMultiprogram: %v", err)
+		}
+		batched, err := NewMultiprogram(prof, procs, 2_000, 7)
+		if err != nil {
+			t.Fatalf("NewMultiprogram: %v", err)
+		}
+		want := make([]isa.Inst, n)
+		for i := range want {
+			if !ref.Next(&want[i]) {
+				t.Fatalf("procs=%d: stream exhausted at %d", procs, i)
+			}
+		}
+		got := drainBatched(t, batched, n, []int{1, 5, 128, 333})
+		compareStreams(t, "compress-mp", int64(procs), want, got)
+	}
+}
+
+// drainBatched pulls n instructions via NextBatch, cycling through the
+// given chunk sizes so refill boundaries land at many different offsets.
+func drainBatched(t *testing.T, b trace.Batcher, n int, chunkSizes []int) []isa.Inst {
+	t.Helper()
+	got := make([]isa.Inst, 0, n)
+	for i := 0; len(got) < n; i++ {
+		size := chunkSizes[i%len(chunkSizes)]
+		if left := n - len(got); size > left {
+			size = left
+		}
+		buf := make([]isa.Inst, size)
+		k := b.NextBatch(buf)
+		if k != size {
+			t.Fatalf("NextBatch(%d) = %d on an endless stream", size, k)
+		}
+		got = append(got, buf[:k]...)
+	}
+	return got
+}
+
+func compareStreams(t *testing.T, name string, seed int64, want, got []isa.Inst) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s/%d: length mismatch %d vs %d", name, seed, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s/%d: instruction %d diverged:\n per-call %+v\n batched  %+v",
+				name, seed, i, want[i], got[i])
+		}
+	}
+}

@@ -268,6 +268,16 @@ func (g *Generator) Next(in *isa.Inst) bool {
 	return true
 }
 
+// NextBatch implements trace.Batcher: it fills all of dst (the generator
+// never exhausts) with exactly the instructions the same number of Next
+// calls would have produced, at one dynamic dispatch for the whole chunk.
+func (g *Generator) NextBatch(dst []isa.Inst) int {
+	for i := range dst {
+		g.Next(&dst[i])
+	}
+	return len(dst)
+}
+
 // tickKernelCadence advances the user->kernel->user state machine. Traps
 // and returns are realised at block boundaries by emitTerminator; here we
 // only run the countdowns.

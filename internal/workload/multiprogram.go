@@ -122,6 +122,16 @@ func (m *Multiprogram) Next(in *isa.Inst) bool {
 	return true
 }
 
+// NextBatch implements trace.Batcher; see Generator.NextBatch. The quantum
+// countdown and switch markers run inside the loop exactly as they would
+// across individual Next calls.
+func (m *Multiprogram) NextBatch(dst []isa.Inst) int {
+	for i := range dst {
+		m.Next(&dst[i])
+	}
+	return len(dst)
+}
+
 // lastUserPC gives a stable PC in the current process's code range for the
 // injected switch marker.
 func (m *Multiprogram) lastUserPC() uint64 {
