@@ -5,8 +5,10 @@
 // Usage:
 //
 //	portbench [-quick] [-insts n] [-seed n] [-only T1,F6,...] [-csv]
-//	          [-parallel n] [-progress] [-flightrec]
+//	          [-parallel n] [-progress[=rich|plain]] [-flightrec]
 //	          [-inject mode:workload[:after]] [-repro-dir dir]
+//	          [-listen addr] [-manifest path] [-hold d]
+//	          [-trace-out path] [-trace-cell workload@machine] [-trace-depth n]
 //	portbench -repro bundle.json
 //
 // Simulations run on a bounded worker pool (-parallel, default GOMAXPROCS);
@@ -19,6 +21,13 @@
 // machine configuration, stack and flight-recorder tail, and a JSON repro
 // bundle is written next to the run (-repro-dir); `portbench -repro` replays
 // a bundle deterministically with the flight recorder armed.
+//
+// Observability (all opt-in, see README.md "Observability"): -listen
+// serves live campaign metrics over HTTP (/metrics Prometheus text,
+// /vars JSON, /healthz); -manifest writes a portsim-manifest/v1 run
+// manifest; -trace-out captures one cell's pipeline events as a Chrome
+// trace-event JSON for Perfetto. Tables are byte-identical whether any
+// of these are on or off.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"portsim/internal/diag"
 	"portsim/internal/experiments"
 	"portsim/internal/stats"
+	"portsim/internal/telemetry"
 )
 
 func main() {
@@ -53,17 +63,25 @@ func run(args []string, out io.Writer) error {
 		only      = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 		csv       = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (<=0: GOMAXPROCS); tables are byte-identical at any setting")
-		progress  = fs.Bool("progress", false, "report completed simulation cells on stderr")
 		flightrec = fs.Bool("flightrec", false, "arm the per-cell pipeline flight recorder (failure forensics)")
 		inject    = fs.String("inject", "", "poison one workload's cells: mode:workload[:after] with mode panic|badinst|wedge")
 		repro     = fs.String("repro", "", "replay a repro bundle file instead of running the suite")
 		reproDir  = fs.String("repro-dir", ".", "directory for repro bundles written on cell failure")
+
+		listen     = fs.String("listen", "", "serve live campaign metrics over HTTP on this address (/metrics, /vars, /healthz)")
+		manifest   = fs.String("manifest", "", "write a portsim-manifest/v1 run manifest (JSON) to this path")
+		hold       = fs.Duration("hold", 0, "keep the -listen endpoint up this long after the suite finishes")
+		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto) of one cell to this path")
+		traceCell  = fs.String("trace-cell", "", "cell to trace as workload@machine (default: first workload on the baseline machine)")
+		traceDepth = fs.Int("trace-depth", 0, "trace event-ring depth (default 1Mi events)")
 
 		cpuprofile   = fs.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memprofile   = fs.String("memprofile", "", "write a post-GC heap profile to this file at exit")
 		allocprofile = fs.String("allocprofile", "", "write an allocation profile (every malloc since start) to this file at exit")
 		benchjson    = fs.String("benchjson", "", "write machine-readable throughput json: a .json filename, or a directory for BENCH_<date>.json")
 	)
+	var progress progressMode
+	fs.Var(&progress, "progress", "report completed cells on stderr: rich status line, or plain for one line per cell")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +106,15 @@ func run(args []string, out io.Writer) error {
 		}
 		spec.Fault = fault
 	}
+	if *traceOut != "" {
+		w, m, err := parseTraceCell(*traceCell, spec)
+		if err != nil {
+			return err
+		}
+		spec.Trace = &experiments.TraceSpec{Workload: w, Machine: m, Depth: *traceDepth}
+	} else if *traceCell != "" || *traceDepth != 0 {
+		return fmt.Errorf("-trace-cell and -trace-depth need -trace-out")
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -110,11 +137,6 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "portbench: %d workloads x %d instructions, seed %d\n\n",
 		len(spec.Workloads), spec.Insts, spec.Seed)
 	runner := experiments.NewRunner(spec)
-	if *progress {
-		runner.SetProgress(func(done int) {
-			fmt.Fprintf(os.Stderr, "\rportbench: %d cells done", done)
-		})
-	}
 	bench := newBenchRecorder(runner)
 	suiteMallocs := mallocs()
 	start := time.Now()
@@ -144,13 +166,32 @@ func run(args []string, out io.Writer) error {
 		{"A7", func() (*stats.Table, error) { _, t, err := experiments.A7ArbitrationPolicy(runner); return t, err }},
 		{"A8", func() (*stats.Table, error) { _, t, err := experiments.A8WrongPathFetch(runner); return t, err }},
 	}
+
+	// Telemetry is strictly opt-in: with every flag off the runner's
+	// observer slot stays nil and no campaign state exists at all.
+	var sink *telemetrySink
+	if progress != progressOff || *listen != "" || *manifest != "" || *traceOut != "" {
+		ids := make([]string, 0, len(suite))
+		for _, e := range suite {
+			ids = append(ids, e.id)
+		}
+		s, err := newTelemetrySink(runner, spec, plannedCells(spec, ids, want), progress, *listen)
+		if err != nil {
+			return err
+		}
+		sink = s
+		defer sink.close(*hold)
+	}
+
 	ran := 0
 	var failed []string
 	var failures []error
+	var ranIDs []string
 	for _, e := range suite {
 		if !want(e.id) {
 			continue
 		}
+		ranIDs = append(ranIDs, e.id)
 		bench.begin()
 		table, err := e.run()
 		bench.end(e.id)
@@ -174,8 +215,8 @@ func run(args []string, out io.Writer) error {
 	if ran == 0 {
 		return fmt.Errorf("no experiment matches -only=%q", *only)
 	}
-	if *progress {
-		fmt.Fprintln(os.Stderr)
+	if sink != nil {
+		sink.printer.finish()
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(out, "total wall time: %s\n", elapsed.Round(time.Millisecond))
@@ -194,6 +235,7 @@ func run(args []string, out io.Writer) error {
 			float64(runner.SimulatedCycles())/secs/1e6,
 			float64(runner.SimulatedInstructions())/secs/1e6)
 	}
+	benchPathUsed := ""
 	if *benchjson != "" {
 		now := time.Now()
 		path := benchPath(*benchjson, now)
@@ -202,9 +244,38 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "bench json written: %s\n", path)
+		benchPathUsed = path
+	}
+	if *traceOut != "" {
+		if err := writeTrace(out, runner, sink, *traceOut); err != nil {
+			return err
+		}
+	}
+	cells := 0
+	var bundles []string
+	if len(failures) > 0 {
+		cells, bundles = reportFailures(out, failures, spec, *reproDir)
+	}
+	if *manifest != "" {
+		info := telemetry.ManifestInfo{
+			CreatedAt:   time.Now(),
+			Command:     append([]string{"portbench"}, args...),
+			Seed:        spec.Seed,
+			Insts:       spec.Insts,
+			Workloads:   spec.Workloads,
+			Parallel:    runner.Parallel(),
+			Experiments: ranIDs,
+			BenchJSON:   benchPathUsed,
+			TraceOut:    *traceOut,
+			Bundles:     bundles,
+			WallSeconds: elapsed.Seconds(),
+		}
+		if err := telemetry.WriteManifest(*manifest, sink.camp.BuildManifest(info)); err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		fmt.Fprintf(out, "manifest written: %s\n", *manifest)
 	}
 	if len(failures) > 0 {
-		cells := reportFailures(out, failures, spec, *reproDir)
 		return fmt.Errorf("%d experiment(s) failed (%s) with %d distinct cell failure(s)",
 			len(failed), strings.Join(failed, ","), cells)
 	}
@@ -212,10 +283,11 @@ func run(args []string, out io.Writer) error {
 }
 
 // reportFailures prints each distinct cell failure's forensic detail and
-// writes its repro bundle, returning the distinct-cell count. The memo
-// cache shares one CellError across every experiment that touched the dead
-// cell, so deduplication is by CellError identity.
-func reportFailures(out io.Writer, failures []error, spec experiments.Spec, reproDir string) int {
+// writes its repro bundle, returning the distinct-cell count and the
+// bundle paths written (for the run manifest). The memo cache shares one
+// CellError across every experiment that touched the dead cell, so
+// deduplication is by CellError identity.
+func reportFailures(out io.Writer, failures []error, spec experiments.Spec, reproDir string) (int, []string) {
 	var distinct []*experiments.CellError
 	seen := map[*experiments.CellError]bool{}
 	for _, err := range failures {
@@ -226,6 +298,7 @@ func reportFailures(out io.Writer, failures []error, spec experiments.Spec, repr
 			}
 		}
 	}
+	var written []string
 	for _, ce := range distinct {
 		fmt.Fprintf(out, "\n%s\n", ce.Detail())
 		name := fmt.Sprintf("portbench-repro-%s-%s.json", sanitizeName(ce.Machine.Name), sanitizeName(ce.Workload))
@@ -240,8 +313,9 @@ func reportFailures(out io.Writer, failures []error, spec experiments.Spec, repr
 			continue
 		}
 		fmt.Fprintf(out, "repro bundle written: %s (replay with: portbench -repro %s)\n", path, path)
+		written = append(written, path)
 	}
-	return len(distinct)
+	return len(distinct), written
 }
 
 // sanitizeName makes a machine or workload name safe as a filename chunk.

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"portsim/internal/telemetry"
+)
+
+// progressMode selects how -progress reports cell completions. The flag
+// doubles as a boolean (-progress means rich) and accepts an explicit
+// mode (-progress=plain for CI logs, -progress=false to silence).
+type progressMode int
+
+const (
+	progressOff progressMode = iota
+	progressRich
+	progressPlain
+)
+
+func (m *progressMode) String() string {
+	switch *m {
+	case progressRich:
+		return "rich"
+	case progressPlain:
+		return "plain"
+	}
+	return "false"
+}
+
+func (m *progressMode) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "", "true", "rich":
+		*m = progressRich
+	case "plain":
+		*m = progressPlain
+	case "false", "off":
+		*m = progressOff
+	default:
+		return fmt.Errorf("progress mode %q, want rich, plain or false", s)
+	}
+	return nil
+}
+
+// IsBoolFlag lets plain -progress (no value) select rich mode.
+func (m *progressMode) IsBoolFlag() bool { return true }
+
+// progressPrinter renders cell completions on w (stderr in production).
+// Rich mode keeps one self-overwriting status line with throughput and an
+// ETA; plain mode emits a newline-terminated line per cell so CI logs
+// stay greppable. The printer is fed from the runner's cell observer, so
+// it may be called from many worker goroutines at once.
+type progressPrinter struct {
+	mode    progressMode
+	w       io.Writer
+	planned int
+	camp    *telemetry.Campaign
+
+	mu      sync.Mutex
+	last    time.Time
+	lastLen int
+}
+
+func newProgressPrinter(mode progressMode, w io.Writer, planned int, camp *telemetry.Campaign) *progressPrinter {
+	return &progressPrinter{mode: mode, w: w, planned: planned, camp: camp}
+}
+
+// cellDone reports one completed cell. Rich updates are throttled to ~10
+// per second; the final cell always renders so the line ends accurate.
+func (p *progressPrinter) cellDone(s telemetry.CellSample) {
+	if p == nil || p.mode == progressOff {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done := p.camp.Done()
+	if p.mode == progressPlain {
+		status := ""
+		switch {
+		case s.Failed:
+			status = " FAILED"
+		case s.MemoHit:
+			status = " (memo)"
+		}
+		fmt.Fprintf(p.w, "portbench: cell %d/%d: %s @ %s%s\n",
+			done, p.planned, s.Workload, s.Machine, status)
+		return
+	}
+	now := time.Now()
+	if done < p.planned && now.Sub(p.last) < 100*time.Millisecond {
+		return
+	}
+	p.last = now
+	p.render(done)
+}
+
+// render draws the rich status line, padding over the previous one.
+func (p *progressPrinter) render(done int) {
+	elapsed := p.camp.Elapsed().Seconds()
+	line := fmt.Sprintf("portbench: %d/%d cells", done, p.planned)
+	if elapsed > 0 {
+		line += fmt.Sprintf(" | %.1f Mcycles/s", float64(p.camp.SimCycles())/elapsed/1e6)
+	}
+	if done > 0 && done < p.planned && elapsed > 0 {
+		eta := time.Duration(elapsed / float64(done) * float64(p.planned-done) * float64(time.Second))
+		line += fmt.Sprintf(" | ETA %s", eta.Round(time.Second))
+	}
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	p.lastLen = len(line)
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+}
+
+// finish terminates the rich status line so later stderr output starts
+// on a fresh line.
+func (p *progressPrinter) finish() {
+	if p == nil || p.mode != progressRich {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.render(p.camp.Done())
+	fmt.Fprintln(p.w)
+}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"portsim/internal/config"
+	"portsim/internal/core"
+	"portsim/internal/experiments"
+	"portsim/internal/stats"
+	"portsim/internal/telemetry"
+)
+
+// testListenHook, when set by a test, receives the bound -listen address.
+var testListenHook func(addr string)
+
+// cellsPerExperiment returns how many cells each experiment submits for a
+// spec with w workloads. Duplicate submissions (memo hits) count: the
+// observer fires once per submission, so these figures are what the
+// planned gauge and the ETA are measured against.
+func cellsPerExperiment(w int) map[string]int {
+	return map[string]int{
+		"T1": 0,     // static table, no simulation
+		"T2": w,     // baseline per workload
+		"F1": 3 * w, // port counts 1,2,4
+		"F2": 6 * w, // store-buffer depths 1..32
+		"F3": 3 * w, // naive widths 8,16,32
+		"F4": 5 * w, // line buffers 0,1,2,4,8
+		"F5": 4 * w, // 2 depths x combining on/off
+		"F6": 3 * w, // single, best-single, dual
+		"T3": w,     // best-single per workload
+		"T4": 3 * w, // 3 machines
+		"F7": 12,    // 4 kernel intensities x 3 machines (database only)
+		"A1": 7 * w, // dual ratio column + 6 ablation configs
+		"A2": 7 * w, // dual ratio column + 6 banking configs
+		"A3": 3 * w, // single, single+pf, best+pf
+		"A4": 2 * w, // conservative, speculative
+		"A5": 3 * w, // write-back, write-through, WT+combining
+		"A6": 12,    // 4 multiprogramming levels x 3 machines (compress only)
+		"A7": 2 * w, // loads-first, stores-first
+		"A8": 2 * w, // idealised, wrong-path
+	}
+}
+
+// plannedCells counts the cells the selected experiments will submit.
+func plannedCells(spec experiments.Spec, ids []string, want func(string) bool) int {
+	per := cellsPerExperiment(len(spec.Workloads))
+	total := 0
+	for _, id := range ids {
+		if want(id) {
+			total += per[id]
+		}
+	}
+	return total
+}
+
+// parseTraceCell splits a -trace-cell value ("workload@machine") into its
+// parts; either side may be empty to take the default (first workload of
+// the spec, baseline machine).
+func parseTraceCell(s string, spec experiments.Spec) (workload, machine string, err error) {
+	workload, machine, _ = strings.Cut(s, "@")
+	if workload == "" {
+		if len(spec.Workloads) == 0 {
+			return "", "", fmt.Errorf("trace cell: no workloads in spec")
+		}
+		workload = spec.Workloads[0]
+	}
+	if machine == "" {
+		machine = config.Baseline().Name
+	}
+	return workload, machine, nil
+}
+
+// cellSample converts a runner cell event into the telemetry snapshot:
+// identity, outcome and the port rates derived from the final counters.
+// Everything here runs once per cell, after the simulation finished —
+// never inside the cycle loop.
+func cellSample(ev experiments.CellEvent) telemetry.CellSample {
+	s := telemetry.CellSample{
+		Machine:         ev.Machine,
+		Workload:        ev.Workload,
+		ConfigJSON:      ev.ConfigJSON,
+		MemoHit:         ev.MemoHit,
+		WallSeconds:     ev.WallSeconds,
+		PortUtilization: -1,
+		PortRejectRate:  -1,
+	}
+	if ev.Err != nil {
+		s.Failed = true
+		s.Error = ev.Err.Error()
+		return s
+	}
+	res := ev.Result
+	s.Cycles = res.Cycles
+	s.Insts = res.Instructions
+	m, err := config.FromJSON(ev.ConfigJSON)
+	if err != nil {
+		return s
+	}
+	slots := core.SlotsPerCycle(m.Ports)
+	c := res.Counters
+	s.PortUtilization = stats.SafeRatio(
+		float64(c.Get(stats.PortGrants)),
+		float64(c.Get(stats.PortCycles))*float64(slots))
+	rejects := stats.PortRejects(c)
+	s.PortRejectRate = stats.SafeRatio(
+		float64(rejects),
+		float64(c.Get(stats.PortLoadAccesses)+rejects))
+	return s
+}
+
+// telemetrySink owns the optional observability surfaces of a portbench
+// run: the live-metrics registry and HTTP server, the campaign
+// accumulator behind /metrics and the manifest, the progress printer,
+// and the lane count learned for the traced cell.
+type telemetrySink struct {
+	camp    *telemetry.Campaign
+	srv     *telemetry.Server
+	printer *progressPrinter
+
+	traceWorkload string
+	traceMachine  string
+	laneMu        sync.Mutex
+	traceLanes    int
+}
+
+// newTelemetrySink wires the campaign metrics, the runner's cell
+// observer and, when requested, the HTTP endpoint. The caller only
+// constructs a sink when some telemetry flag is set; otherwise the
+// runner's observer slot stays nil — the zero-cost path.
+func newTelemetrySink(runner *experiments.Runner, spec experiments.Spec,
+	planned int, mode progressMode, listen string) (*telemetrySink, error) {
+	reg := telemetry.NewRegistry()
+	sink := &telemetrySink{
+		camp: telemetry.NewCampaign(reg, planned),
+	}
+	sink.printer = newProgressPrinter(mode, os.Stderr, planned, sink.camp)
+	if spec.Trace != nil {
+		sink.traceWorkload = spec.Trace.Workload
+		sink.traceMachine = spec.Trace.Machine
+	}
+	runner.SetCellObserver(func(ev experiments.CellEvent) {
+		s := cellSample(ev)
+		sink.noteLanes(s)
+		sink.camp.CellDone(s)
+		sink.printer.cellDone(s)
+	}, time.Now)
+	if listen != "" {
+		srv, err := telemetry.Serve(listen, reg)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		sink.srv = srv
+		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.Addr())
+		if testListenHook != nil {
+			testListenHook(srv.Addr())
+		}
+	}
+	return sink, nil
+}
+
+// noteLanes remembers the traced cell's port slots per cycle, which
+// becomes the lane count of the trace's per-port track group.
+func (t *telemetrySink) noteLanes(s telemetry.CellSample) {
+	if s.Workload != t.traceWorkload || s.Machine != t.traceMachine || s.Failed {
+		return
+	}
+	m, err := config.FromJSON(s.ConfigJSON)
+	if err != nil {
+		return
+	}
+	t.laneMu.Lock()
+	if t.traceLanes == 0 {
+		t.traceLanes = core.SlotsPerCycle(m.Ports)
+	}
+	t.laneMu.Unlock()
+}
+
+// lanes returns the learned lane count (0 if the traced cell never ran).
+func (t *telemetrySink) lanes() int {
+	t.laneMu.Lock()
+	defer t.laneMu.Unlock()
+	return t.traceLanes
+}
+
+// close shuts the metrics endpoint down, first holding it open for the
+// requested grace period so external scrapers (CI smoke tests, a curl in
+// another terminal) can observe the finished campaign.
+func (t *telemetrySink) close(hold time.Duration) {
+	if t == nil || t.srv == nil {
+		return
+	}
+	if hold > 0 {
+		fmt.Fprintf(os.Stderr, "telemetry: holding metrics endpoint for %s\n", hold)
+		time.Sleep(hold)
+	}
+	t.srv.Close()
+}
+
+// writeTrace converts the runner's captured flight-recorder events into
+// a Chrome trace-event JSON file for Perfetto / chrome://tracing.
+func writeTrace(out io.Writer, runner *experiments.Runner, sink *telemetrySink, path string) error {
+	cap := runner.Trace()
+	if cap == nil {
+		fmt.Fprintf(os.Stderr, "telemetry: trace cell %s@%s never ran; no trace written\n",
+			sink.traceWorkload, sink.traceMachine)
+		return nil
+	}
+	trace, err := telemetry.BuildTrace(cap.Events, telemetry.TraceMeta{
+		Machine:  cap.Machine,
+		Workload: cap.Workload,
+		Seed:     cap.Seed,
+		Lanes:    sink.lanes(),
+		Dropped:  cap.Dropped,
+		Total:    cap.Total,
+	})
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	data, err := trace.Encode()
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	fmt.Fprintf(out, "trace written: %s (%d events, %d dropped; open in ui.perfetto.dev)\n",
+		path, len(cap.Events), cap.Dropped)
+	return nil
+}

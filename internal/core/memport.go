@@ -139,8 +139,11 @@ type refillWindow struct {
 	bank   int
 }
 
-// maxConcurrency is the peak accesses per cycle a port arrangement allows.
-func maxConcurrency(cfg config.Ports) int {
+// SlotsPerCycle is the peak accesses per cycle a port arrangement allows:
+// one per bank when banked, otherwise one per port. Exported for the
+// telemetry layer, which renders one trace lane per slot and normalises
+// utilization by it — the same divisor Utilisation uses.
+func SlotsPerCycle(cfg config.Ports) int {
 	if cfg.Banks > 1 {
 		return cfg.Banks
 	}
@@ -156,7 +159,7 @@ func NewMemPort(cfg config.Ports, sys *mem.System) *MemPort {
 		lbs:       NewLineBufferSet(cfg.LineBuffers, cfg.WidthBytes),
 		sb:        NewStoreBuffer(cfg.StoreBufferEntries, cfg.WidthBytes, cfg.StoreCombining),
 		wide:      cfg.WidthBytes > 8,
-		grantHist: stats.NewHistogram(maxConcurrency(cfg) + 1),
+		grantHist: stats.NewHistogram(SlotsPerCycle(cfg) + 1),
 	}
 	if cfg.Banks > 1 {
 		p.banked = true
@@ -594,7 +597,7 @@ func (p *MemPort) Report(s *stats.Set) {
 	s.Add(stats.PortRefillCycles, p.refillCycles)
 	s.Add(stats.PortPrefetches, p.prefetches)
 	s.Add(stats.PortUsefulPrefetches, p.usefulPrefetch)
-	for v := 0; v <= maxConcurrency(p.cfg); v++ {
+	for v := 0; v <= SlotsPerCycle(p.cfg); v++ {
 		s.Add(stats.GrantBucket(v), p.grantHist.Bucket(uint64(v)))
 	}
 }
@@ -602,7 +605,7 @@ func (p *MemPort) Report(s *stats.Set) {
 // Utilisation returns the mean fraction of access slots (ports or banks)
 // granted per cycle.
 func (p *MemPort) Utilisation() float64 {
-	slots := uint64(maxConcurrency(p.cfg))
+	slots := uint64(SlotsPerCycle(p.cfg))
 	if p.cycles == 0 || slots == 0 {
 		return 0
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"portsim/internal/config"
+	"portsim/internal/diag"
 	"portsim/internal/workload"
 )
 
@@ -32,6 +33,49 @@ func TestStepDoesNotAllocate(t *testing.T) {
 			}
 			if avg := testing.AllocsPerRun(2000, c.step); avg != 0 {
 				t.Errorf("step allocates %v objects/cycle in steady state; want 0", avg)
+			}
+		})
+	}
+}
+
+// TestStepDoesNotAllocateWithRecorder extends the guard to the telemetry
+// path: the hot loop must stay allocation-free both with the flight
+// recorder disabled (nil — the default when no telemetry flag is set;
+// every Record call nil-checks and returns) and with a deep trace ring
+// armed, where Record writes events into pre-allocated storage. Together
+// with TestStepDoesNotAllocate this proves -trace-out costs the cycle
+// loop nothing but the ring writes, and costs it literally nothing when
+// off.
+func TestStepDoesNotAllocateWithRecorder(t *testing.T) {
+	for _, depth := range []int{0, 1 << 16} {
+		m := config.BestSingle()
+		name := "armed"
+		if depth == 0 {
+			name = "nil"
+		}
+		t.Run(name, func(t *testing.T) {
+			g, err := workload.New(mustProfile(t, "compress"), 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := New(&m, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rec *diag.Recorder
+			if depth > 0 {
+				rec = diag.NewRecorder(depth)
+			}
+			c.rec = rec
+			c.port.SetRecorder(rec)
+			for i := 0; i < 20_000; i++ {
+				c.step()
+			}
+			if avg := testing.AllocsPerRun(2000, c.step); avg != 0 {
+				t.Errorf("step with %s recorder allocates %v objects/cycle; want 0", name, avg)
+			}
+			if depth > 0 && rec.Len() == 0 {
+				t.Error("armed recorder captured no events")
 			}
 		})
 	}

@@ -99,10 +99,15 @@ const DefaultDepth = 256
 // zero of *Recorder (nil) is a disabled recorder; all methods tolerate it.
 // A Recorder is not safe for concurrent use — each simulated core owns its
 // own, matching the one-goroutine-per-simulation execution model.
+//
+// The ring invariant that the trace exporter depends on: event number n
+// (zero-based, in recording order) lives at buf[n % depth]. Every derived
+// quantity — length, write position, oldest retained event — is computed
+// from the single monotonic counter total, so chronological reassembly
+// after wraparound cannot disagree with the write path.
 type Recorder struct {
-	buf   []Event
-	next  int    // ring write position
-	total uint64 // events ever recorded
+	buf   []Event // full-length ring storage, indexed by total % depth
+	total uint64  // events ever recorded
 }
 
 // NewRecorder returns a recorder retaining the last depth events
@@ -111,25 +116,16 @@ func NewRecorder(depth int) *Recorder {
 	if depth <= 0 {
 		depth = DefaultDepth
 	}
-	return &Recorder{buf: make([]Event, 0, depth)}
+	return &Recorder{buf: make([]Event, depth)}
 }
 
 // Record appends one event, overwriting the oldest once the ring is full.
-// It is a no-op on a nil recorder.
+// It is a no-op on a nil recorder and never allocates.
 func (r *Recorder) Record(cycle uint64, kind EventKind, seq, addr uint64) {
 	if r == nil {
 		return
 	}
-	ev := Event{Cycle: cycle, Kind: kind, Seq: seq, Addr: addr}
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, ev)
-	} else {
-		r.buf[r.next] = ev
-	}
-	r.next++
-	if r.next == cap(r.buf) {
-		r.next = 0
-	}
+	r.buf[r.total%uint64(len(r.buf))] = Event{Cycle: cycle, Kind: kind, Seq: seq, Addr: addr}
 	r.total++
 }
 
@@ -141,13 +137,16 @@ func (r *Recorder) Depth() int {
 	if r == nil {
 		return 0
 	}
-	return cap(r.buf)
+	return len(r.buf)
 }
 
 // Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
+	}
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
 	}
 	return len(r.buf)
 }
@@ -161,21 +160,41 @@ func (r *Recorder) Total() uint64 {
 	return r.total
 }
 
+// Dropped returns the number of events lost to ring wraparound, so a trace
+// export can state exactly how much history precedes its first event.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	depth := uint64(len(r.buf))
+	if r.total <= depth {
+		return 0
+	}
+	return r.total - depth
+}
+
 // Events returns the retained events oldest-first, as a copy safe to hold
 // after the recorder keeps recording. It returns nil on a disabled or empty
 // recorder.
+//
+// Ordering: event n sits at buf[n % depth], so once the ring has wrapped,
+// the oldest retained event (number total-depth) occupies the slot the next
+// write would claim, buf[total % depth]. Splitting there yields the events
+// in exact recording order — and therefore non-decreasing cycle order,
+// since cycles only move forward while recording.
 func (r *Recorder) Events() []Event {
-	if r == nil || len(r.buf) == 0 {
+	n := r.Len()
+	if n == 0 {
 		return nil
 	}
-	out := make([]Event, 0, len(r.buf))
-	if len(r.buf) == cap(r.buf) {
-		// Full ring: oldest entry sits at the write position.
-		out = append(out, r.buf[r.next:]...)
-		out = append(out, r.buf[:r.next]...)
+	out := make([]Event, 0, n)
+	if r.total > uint64(len(r.buf)) {
+		start := int(r.total % uint64(len(r.buf)))
+		out = append(out, r.buf[start:]...)
+		out = append(out, r.buf[:start]...)
 		return out
 	}
-	return append(out, r.buf...)
+	return append(out, r.buf[:n]...)
 }
 
 // FormatEvents renders events one per line, for inclusion in failure

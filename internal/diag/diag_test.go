@@ -61,6 +61,61 @@ func TestRecorderWrapsOldestFirst(t *testing.T) {
 	}
 }
 
+// TestRecorderWraparoundCycleSorted is the regression test behind the trace
+// exporter: the reassembled tail must come back in exact recording order —
+// and therefore non-decreasing cycle order — at every possible ring phase,
+// including bursts of same-cycle events that straddle the wrap point. Seq
+// doubles as the recording sequence number, so any reassembly that splits
+// the ring at the wrong slot shows up as a Seq discontinuity even where
+// cycles tie.
+func TestRecorderWraparoundCycleSorted(t *testing.T) {
+	const depth = 8
+	for n := 1; n <= 4*depth; n++ {
+		r := NewRecorder(depth)
+		for i := 0; i < n; i++ {
+			// Three events per cycle: ties cross the wrap boundary at
+			// most phases of n.
+			r.Record(uint64(i/3), EventGrant, uint64(i), 0)
+		}
+		ev := r.Events()
+		wantLen := n
+		if wantLen > depth {
+			wantLen = depth
+		}
+		if len(ev) != wantLen {
+			t.Fatalf("n=%d: len = %d, want %d", n, len(ev), wantLen)
+		}
+		first := uint64(n - wantLen)
+		for i, e := range ev {
+			if want := first + uint64(i); e.Seq != want {
+				t.Fatalf("n=%d: event %d has seq %d, want %d (tail out of recording order)", n, i, e.Seq, want)
+			}
+			if i > 0 && e.Cycle < ev[i-1].Cycle {
+				t.Fatalf("n=%d: cycle regressed at event %d: %d after %d", n, i, e.Cycle, ev[i-1].Cycle)
+			}
+		}
+		wantDropped := uint64(0)
+		if n > depth {
+			wantDropped = uint64(n - depth)
+		}
+		if r.Dropped() != wantDropped {
+			t.Fatalf("n=%d: dropped = %d, want %d", n, r.Dropped(), wantDropped)
+		}
+	}
+}
+
+func TestDroppedNilAndUnwrapped(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Dropped() != 0 {
+		t.Error("nil recorder reports drops")
+	}
+	r := NewRecorder(4)
+	r.Record(1, EventFetch, 0, 0)
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d before wrap, want 0", r.Dropped())
+	}
+}
+
 func TestEventsReturnsACopy(t *testing.T) {
 	r := NewRecorder(4)
 	r.Record(1, EventStall, 7, 0x40)

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"portsim/internal/config"
 	"portsim/internal/cpu"
@@ -37,6 +38,63 @@ type Spec struct {
 	// the fault-injection hook behind the robustness tests and portbench
 	// -inject. Healthy workloads are unaffected.
 	Fault *Fault
+	// Trace, when non-nil, arms a deep flight recorder for the first
+	// simulation of the named cell so its tail can be exported as a
+	// Perfetto trace (portbench -trace-out). All other cells run exactly
+	// as without it, so tables stay byte-identical.
+	Trace *TraceSpec
+}
+
+// TraceSpec names the one cell whose pipeline events a campaign captures.
+type TraceSpec struct {
+	// Workload is the workload name to match.
+	Workload string
+	// Machine is the machine name to match; empty matches any machine.
+	Machine string
+	// Depth is the recorder ring capacity; DefaultTraceDepth when not
+	// positive.
+	Depth int
+}
+
+// DefaultTraceDepth is the trace recorder's ring capacity: deep enough to
+// hold the full event stream of a quick cell (a few events per cycle over
+// tens of thousands of cycles), shallow enough to stay tens of megabytes.
+const DefaultTraceDepth = 1 << 20
+
+// TraceCapture is the captured tail of the traced cell.
+type TraceCapture struct {
+	// Machine and Workload identify the cell that was captured.
+	Machine  string
+	Workload string
+	// Seed is the spec's workload seed.
+	Seed int64
+	// Events is the recorder tail in recording (cycle) order.
+	Events []diag.Event
+	// Dropped counts events lost to ring wraparound before the tail;
+	// Total is every event recorded.
+	Dropped uint64
+	Total   uint64
+}
+
+// CellEvent describes one finished experiment cell, delivered to the
+// observer installed with SetCellObserver. One event fires per cell
+// submission: memo hits report the cached result with MemoHit set.
+type CellEvent struct {
+	// Machine and Workload identify the cell. ConfigJSON is the machine
+	// configuration as simulated (after fault arming, if any).
+	Machine    string
+	Workload   string
+	ConfigJSON []byte
+	// MemoHit marks a cell satisfied from the memo cache without
+	// simulating.
+	MemoHit bool
+	// WallSeconds is the cell's simulation wall time (zero for memo hits
+	// and when no clock was injected).
+	WallSeconds float64
+	// Result is the cell's result; nil when the cell failed, in which
+	// case Err carries the failure.
+	Result *cpu.Result
+	Err    error
 }
 
 // DefaultSpec runs every workload at full length, the configuration behind
@@ -90,6 +148,19 @@ type Runner struct {
 	progressMu sync.Mutex
 	doneCells  int
 	progress   func(done int)
+
+	// obsMu guards the per-cell observer (telemetry sink) and serialises
+	// its invocations. The observer is nil when telemetry is off; the
+	// cost of the check is one mutex acquisition per cell — never per
+	// cycle.
+	obsMu    sync.Mutex
+	observer func(CellEvent)
+	obsNow   func() time.Time
+
+	// traceMu guards the single trace capture of a Spec.Trace campaign.
+	traceMu    sync.Mutex
+	traceArmed bool
+	traceCap   *TraceCapture
 }
 
 // NewRunner returns a runner for the spec.
@@ -132,6 +203,83 @@ func (r *Runner) noteProgress() {
 	r.progressMu.Unlock()
 }
 
+// SetCellObserver installs a per-cell telemetry sink invoked once for
+// every cell submission — simulated, memoised or failed. now supplies the
+// wall clock for cell timing and may be nil (cells then report zero wall
+// time); the runner itself never reads a clock, keeping the determinism
+// lint meaningful. Calls are serialised; the observer must not invoke the
+// runner. A nil fn disables observation.
+func (r *Runner) SetCellObserver(fn func(CellEvent), now func() time.Time) {
+	r.obsMu.Lock()
+	r.observer = fn
+	r.obsNow = now
+	r.obsMu.Unlock()
+}
+
+// cellObserver returns the current observer and clock.
+func (r *Runner) cellObserver() (func(CellEvent), func() time.Time) {
+	r.obsMu.Lock()
+	defer r.obsMu.Unlock()
+	return r.observer, r.obsNow
+}
+
+// emitCell delivers one observer event under the observer lock.
+func (r *Runner) emitCell(ev CellEvent) {
+	r.obsMu.Lock()
+	if r.observer != nil {
+		r.observer(ev)
+	}
+	r.obsMu.Unlock()
+}
+
+// Trace returns the captured trace of the Spec.Trace cell, or nil when no
+// matching cell has simulated (or tracing was not requested).
+func (r *Runner) Trace() *TraceCapture {
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	return r.traceCap
+}
+
+// armTrace claims the campaign's single trace slot when the cell matches
+// Spec.Trace, returning the deep recorder to simulate with. Only the
+// first matching simulation captures; memoisation guarantees the first
+// simulation of a (machine, workload) pair is the one whose result every
+// table sees.
+func (r *Runner) armTrace(machineName, workloadName string) *diag.Recorder {
+	t := r.spec.Trace
+	if t == nil || t.Workload != workloadName {
+		return nil
+	}
+	if t.Machine != "" && t.Machine != machineName {
+		return nil
+	}
+	r.traceMu.Lock()
+	defer r.traceMu.Unlock()
+	if r.traceArmed {
+		return nil
+	}
+	r.traceArmed = true
+	depth := t.Depth
+	if depth <= 0 {
+		depth = DefaultTraceDepth
+	}
+	return diag.NewRecorder(depth)
+}
+
+// captureTrace stores the traced cell's tail for Trace().
+func (r *Runner) captureTrace(rec *diag.Recorder, machineName, workloadName string) {
+	r.traceMu.Lock()
+	r.traceCap = &TraceCapture{
+		Machine:  machineName,
+		Workload: workloadName,
+		Seed:     r.spec.Seed,
+		Events:   rec.Events(),
+		Dropped:  rec.Dropped(),
+		Total:    rec.Total(),
+	}
+	r.traceMu.Unlock()
+}
+
 // SimulatedCycles returns the total simulated cycles across every
 // non-memoised run this runner has executed.
 func (r *Runner) SimulatedCycles() uint64 { return r.simCycles.Load() }
@@ -157,6 +305,14 @@ func (r *Runner) Run(m config.Machine, workloadName string) (*cpu.Result, error)
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		<-e.done
+		r.emitCell(CellEvent{
+			Machine:    m.Name,
+			Workload:   workloadName,
+			ConfigJSON: cfgJSON,
+			MemoHit:    true,
+			Result:     e.res,
+			Err:        e.err,
+		})
 		return e.res, e.err
 	}
 	e := &memoEntry{done: make(chan struct{})}
@@ -275,25 +431,58 @@ func (r *Runner) PoolStats() (hits, misses uint64) {
 // the flight recorder's tail. Simulation errors (deadline, watchdog stall)
 // are wrapped into CellErrors with the same context, minus the stack.
 func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (res *cpu.Result, err error) {
-	var rec *diag.Recorder
+	// A trace-armed cell gets the deep recorder; otherwise the ordinary
+	// forensic ring, armed only when requested or fault-poisoned.
+	traceRec := r.armTrace(m.Name, what)
+	rec := traceRec
 	poolable := !r.spec.Fault.applies(what)
-	if r.spec.FlightRecorder || !poolable {
+	if rec == nil && (r.spec.FlightRecorder || !poolable) {
 		rec = diag.NewRecorder(0)
 	}
 	if !poolable {
 		stream = r.spec.Fault.arm(&m, stream)
 	}
 	cellErr := func(stack string, cause error) *CellError {
+		events := rec.Events()
+		if len(events) > diag.DefaultDepth {
+			// A trace-deep recorder holds ~10^6 events; a failure report
+			// only ever shows the tail, so cap what the error carries.
+			events = events[len(events)-diag.DefaultDepth:]
+		}
 		return &CellError{
 			Machine:  m,
 			Workload: what,
 			Seed:     r.spec.Seed,
 			Insts:    r.spec.Insts,
 			Stack:    stack,
-			Events:   rec.Events(),
+			Events:   events,
 			Err:      cause,
 		}
 	}
+	// The observer defer is registered before the recover defer, so on a
+	// panic it runs after recovery has turned the panic into res/err and
+	// reports the cell's final outcome. The trace is captured on every
+	// path — a trace of the failing cell is exactly what a diagnosis
+	// wants.
+	obs, obsNow := r.cellObserver()
+	var cellStart time.Time
+	if obs != nil && obsNow != nil {
+		cellStart = obsNow()
+	}
+	defer func() {
+		if traceRec != nil {
+			r.captureTrace(traceRec, m.Name, what)
+		}
+		if obs == nil {
+			return
+		}
+		ev := CellEvent{Machine: m.Name, Workload: what, Result: res, Err: err}
+		ev.ConfigJSON, _ = m.ToJSON()
+		if obsNow != nil {
+			ev.WallSeconds = obsNow().Sub(cellStart).Seconds()
+		}
+		r.emitCell(ev)
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			res = nil

@@ -29,7 +29,8 @@ import (
 // The math/rand rules still apply to them: a benchmark driver may time
 // itself, but it must not perturb simulated behaviour.
 var AllowWallClock = map[string]bool{
-	"portsim/cmd/portbench": true,
+	"portsim/cmd/portbench":      true,
+	"portsim/internal/telemetry": true,
 }
 
 // seededConstructors are the math/rand and math/rand/v2 package functions

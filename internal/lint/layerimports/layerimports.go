@@ -1,0 +1,61 @@
+// Package layerimports implements the portlint analyzer that keeps the
+// simulator model presentation-free. The telemetry layer's contract is
+// that observability is bolted on from the outside: internal/telemetry
+// reads end-of-cell snapshots, it is never imported by the model, and no
+// serving or serialisation concern leaks into the cycle-accurate code.
+// The analyzer enforces the direction of that dependency by flagging
+// imports of HTTP/JSON/metrics machinery inside the guarded model
+// packages (internal/cpu, internal/core, internal/mem). Test files are
+// never analyzed.
+package layerimports
+
+import (
+	"strconv"
+
+	"portsim/internal/lint/analysis"
+)
+
+// Guarded lists the model packages that must stay free of presentation
+// machinery: the pipeline, the cache-port subsystem and the memory
+// hierarchy.
+var Guarded = map[string]bool{
+	"portsim/internal/cpu":  true,
+	"portsim/internal/core": true,
+	"portsim/internal/mem":  true,
+}
+
+// Forbidden maps each banned import path to the reason it is banned.
+var Forbidden = map[string]string{
+	"net/http":                   "HTTP serving belongs in internal/telemetry or the cmd layer",
+	"encoding/json":              "serialisation belongs in the config/experiments/telemetry layers",
+	"expvar":                     "metric publication belongs in internal/telemetry",
+	"portsim/internal/telemetry": "the model must not depend on its own observability layer",
+}
+
+// Analyzer is the layerimports analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "layerimports",
+	Doc: "flags presentation-layer imports (net/http, encoding/json, expvar, " +
+		"internal/telemetry) inside the simulator model packages, keeping " +
+		"observability strictly outside the cycle-accurate code",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Guarded[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if reason, ok := Forbidden[path]; ok {
+				pass.Reportf(imp.Pos(),
+					"import %q in a model package: %s", path, reason)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package layerimports_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/layerimports"
+)
+
+// TestGuardedPackageFlagged treats the fixture as a model package and
+// expects every presentation import to be reported.
+func TestGuardedPackageFlagged(t *testing.T) {
+	const path = "portsim/internal/lint/layerimports/testdata/src/guarded"
+	layerimports.Guarded[path] = true
+	defer delete(layerimports.Guarded, path)
+	analysistest.Run(t, layerimports.Analyzer, "guarded")
+}
+
+// TestUnguardedPackageExempt checks the same imports stay silent outside
+// the guarded set.
+func TestUnguardedPackageExempt(t *testing.T) {
+	analysistest.Run(t, layerimports.Analyzer, "free")
+}
+
+// TestGuardedSetPinsModelPackages pins the production guard list so a
+// refactor cannot silently drop a model package from enforcement.
+func TestGuardedSetPinsModelPackages(t *testing.T) {
+	for _, pkg := range []string{
+		"portsim/internal/cpu",
+		"portsim/internal/core",
+		"portsim/internal/mem",
+	} {
+		if !layerimports.Guarded[pkg] {
+			t.Errorf("%s missing from the guarded set", pkg)
+		}
+	}
+	for _, imp := range []string{"net/http", "encoding/json", "expvar", "portsim/internal/telemetry"} {
+		if layerimports.Forbidden[imp] == "" {
+			t.Errorf("%s missing from the forbidden set", imp)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package free is a layerimports fixture for a non-guarded package: the
+// same presentation imports are perfectly legal outside the model.
+package free
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func use() {
+	_ = json.Valid(nil)
+	_ = http.StatusOK
+}

@@ -1,0 +1,19 @@
+// Package guarded is a layerimports fixture standing in for a model
+// package: presentation imports are flagged, ordinary ones are not.
+package guarded
+
+import (
+	"expvar" // want `import "expvar" in a model package`
+	"fmt"
+	"net/http" // want `import "net/http" in a model package`
+	"sort"
+
+	"encoding/json" // want `import "encoding/json" in a model package`
+)
+
+func use() {
+	_ = fmt.Sprint(sort.IntsAreSorted(nil))
+	_ = json.Valid(nil)
+	_ = expvar.Get("x")
+	_ = http.StatusOK
+}

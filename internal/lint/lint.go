@@ -17,6 +17,7 @@ import (
 	"portsim/internal/lint/detrand"
 	"portsim/internal/lint/floatcmp"
 	"portsim/internal/lint/hotpath"
+	"portsim/internal/lint/layerimports"
 	"portsim/internal/lint/loader"
 	"portsim/internal/lint/recoverhygiene"
 )
@@ -30,6 +31,7 @@ func Suite() []*analysis.Analyzer {
 		detrand.Analyzer,
 		floatcmp.Analyzer,
 		hotpath.Analyzer,
+		layerimports.Analyzer,
 		recoverhygiene.Analyzer,
 	}
 }

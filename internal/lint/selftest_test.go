@@ -95,7 +95,7 @@ func TestSuiteStable(t *testing.T) {
 	for _, a := range lint.Suite() {
 		names = append(names, a.Name)
 	}
-	want := "configbounds,counterhygiene,cyclemath,detrand,floatcmp,hotpath,recoverhygiene"
+	want := "configbounds,counterhygiene,cyclemath,detrand,floatcmp,hotpath,layerimports,recoverhygiene"
 	if got := strings.Join(names, ","); got != want {
 		t.Errorf("Suite() = %s, want %s", got, want)
 	}

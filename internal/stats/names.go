@@ -74,6 +74,27 @@ const (
 	PortUsefulPrefetches     = "port.useful_prefetches"
 )
 
+// PortRejectNames lists every load-rejection counter, in reporting order.
+// Consumers that need "total rejects" (the telemetry reject-rate
+// histogram, diagnosis summaries) must sum these rather than hand-pick a
+// subset that silently goes stale when a rejection reason is added.
+var PortRejectNames = []string{
+	PortRejectPortBusy,
+	PortRejectMSHR,
+	PortRejectStoreConflict,
+	PortRejectBankConflict,
+}
+
+// PortRejects returns the total load rejections recorded in s, summed
+// over every rejection reason.
+func PortRejects(s *Set) uint64 {
+	var total uint64
+	for _, name := range PortRejectNames {
+		total += s.Get(name)
+	}
+	return total
+}
+
 // ClassCounter names the per-instruction-class commit counter for an
 // isa.Class string (e.g. "class.load"). The only data-dependent counter
 // family next to GrantBucket; counterhygiene treats calls to these

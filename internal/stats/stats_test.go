@@ -244,3 +244,21 @@ func TestSafeRatio(t *testing.T) {
 		t.Errorf("SafeRatio(1, 0) = %v; must be finite", got)
 	}
 }
+
+func TestPortRejects(t *testing.T) {
+	s := NewSet()
+	if got := PortRejects(s); got != 0 {
+		t.Errorf("empty set rejects = %d, want 0", got)
+	}
+	s.Add(PortRejectPortBusy, 3)
+	s.Add(PortRejectMSHR, 2)
+	s.Add(PortRejectStoreConflict, 1)
+	s.Add(PortRejectBankConflict, 4)
+	s.Add(PortGrants, 99) // not a rejection; must not be counted
+	if got := PortRejects(s); got != 10 {
+		t.Errorf("rejects = %d, want 10", got)
+	}
+	if len(PortRejectNames) != 4 {
+		t.Errorf("PortRejectNames has %d entries, want the 4 rejection reasons", len(PortRejectNames))
+	}
+}

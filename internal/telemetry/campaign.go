@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CellSample is the end-of-cell snapshot the experiment runner's observer
+// delivers: cell identity, outcome and the port-level rates derived from
+// the cell's final stats.Set. Nothing here is sampled mid-simulation — the
+// hot loop stays untouched whether telemetry is on or off.
+type CellSample struct {
+	Machine    string
+	Workload   string
+	ConfigJSON []byte
+
+	MemoHit bool
+	Failed  bool
+	Error   string
+
+	WallSeconds float64
+	Cycles      uint64
+	Insts       uint64
+
+	// PortUtilization is the mean fraction of port slots granted per
+	// cycle, PortRejectRate the fraction of port offers refused; negative
+	// values mean "unknown" (failed cell) and are not observed.
+	PortUtilization float64
+	PortRejectRate  float64
+}
+
+// Campaign accumulates a run's telemetry: the live registry metrics served
+// by -listen and the per-cell rows a manifest is built from. It is safe
+// for concurrent use by the runner's worker pool.
+type Campaign struct {
+	start        time.Time
+	startMallocs uint64
+
+	cellsPlanned *Gauge
+	cellsDone    *Counter
+	cellsFailed  *Counter
+	memoHits     *Counter
+	simCycles    *Counter
+	simInsts     *Counter
+	wallHist     *Histogram
+	utilHist     *Histogram
+	rejectHist   *Histogram
+
+	mu    sync.Mutex
+	cells []ManifestCell
+}
+
+// mallocCount reads the runtime's cumulative allocation counter.
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// NewCampaign registers the campaign metric set on reg and returns the
+// accumulator. planned is the number of cells the selected experiments
+// will submit (0 when unknown).
+func NewCampaign(reg *Registry, planned int) *Campaign {
+	c := &Campaign{
+		start:        time.Now(),
+		startMallocs: mallocCount(),
+
+		cellsPlanned: reg.Gauge("portsim_cells_planned",
+			"Experiment cells the selected suite will submit."),
+		cellsDone: reg.Counter("portsim_cells_done_total",
+			"Experiment cells completed (simulated, memoised or failed)."),
+		cellsFailed: reg.Counter("portsim_cells_failed_total",
+			"Experiment cells that failed (panic, deadline, watchdog stall)."),
+		memoHits: reg.Counter("portsim_cells_memo_hits_total",
+			"Experiment cells satisfied from the runner's memo cache."),
+		simCycles: reg.Counter("portsim_sim_cycles_total",
+			"Simulated cycles across non-memoised cells."),
+		simInsts: reg.Counter("portsim_sim_insts_total",
+			"Committed instructions across non-memoised cells."),
+		wallHist: reg.Histogram("portsim_cell_wall_seconds",
+			"Wall-clock time per simulated (non-memoised) cell.",
+			[]float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 120}),
+		utilHist: reg.Histogram("portsim_port_utilization",
+			"Mean fraction of cache-port slots granted per cycle, one sample per cell.",
+			[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}),
+		rejectHist: reg.Histogram("portsim_port_reject_rate",
+			"Fraction of cache-port offers refused, one sample per cell.",
+			[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1}),
+	}
+	c.cellsPlanned.Set(float64(planned))
+	reg.GaugeFunc("portsim_sim_cycles_per_second",
+		"Simulated cycles per wall second since campaign start.",
+		func() float64 {
+			secs := time.Since(c.start).Seconds()
+			if secs <= 0 {
+				return 0
+			}
+			return float64(c.simCycles.Value()) / secs
+		})
+	reg.GaugeFunc("portsim_allocs_per_1k_cycles",
+		"Heap allocations per thousand simulated cycles since campaign start.",
+		func() float64 {
+			cycles := c.simCycles.Value()
+			if cycles == 0 {
+				return 0
+			}
+			allocs := mallocCount() - c.startMallocs //portlint:ignore cyclemath runtime.MemStats.Mallocs is monotonic and startMallocs sampled the earlier value
+			return float64(allocs) / (float64(cycles) / 1000)
+		})
+	return c
+}
+
+// CellDone folds one completed cell into the metrics and the manifest
+// rows.
+func (c *Campaign) CellDone(s CellSample) {
+	c.cellsDone.Inc()
+	if s.Failed {
+		c.cellsFailed.Inc()
+	}
+	if s.MemoHit {
+		c.memoHits.Inc()
+	} else if !s.Failed {
+		c.simCycles.Add(s.Cycles)
+		c.simInsts.Add(s.Insts)
+		c.wallHist.Observe(s.WallSeconds)
+		if s.PortUtilization >= 0 {
+			c.utilHist.Observe(s.PortUtilization)
+		}
+		if s.PortRejectRate >= 0 {
+			c.rejectHist.Observe(s.PortRejectRate)
+		}
+	}
+
+	cell := ManifestCell{
+		Workload:    s.Workload,
+		Machine:     s.Machine,
+		ConfigHash:  HashConfig(s.ConfigJSON),
+		Outcome:     OutcomeOK,
+		MemoHit:     s.MemoHit,
+		WallSeconds: s.WallSeconds,
+		Cycles:      s.Cycles,
+		Insts:       s.Insts,
+	}
+	if s.Failed {
+		cell.Outcome = OutcomeFailed
+		cell.Error = s.Error
+		if cell.Error == "" {
+			cell.Error = "unknown failure"
+		}
+	}
+	c.mu.Lock()
+	c.cells = append(c.cells, cell)
+	c.mu.Unlock()
+}
+
+// Done returns the number of cells completed so far.
+func (c *Campaign) Done() int { return int(c.cellsDone.Value()) }
+
+// SimCycles returns the simulated-cycle total so far.
+func (c *Campaign) SimCycles() uint64 { return c.simCycles.Value() }
+
+// Elapsed returns the wall time since the campaign started.
+func (c *Campaign) Elapsed() time.Duration { return time.Since(c.start) }
+
+// ManifestInfo carries the campaign-level fields of a manifest that the
+// accumulator cannot know itself.
+type ManifestInfo struct {
+	CreatedAt   time.Time
+	Command     []string
+	Seed        int64
+	Insts       uint64
+	Workloads   []string
+	Parallel    int
+	Experiments []string
+	BenchJSON   string
+	TraceOut    string
+	Bundles     []string
+	WallSeconds float64
+}
+
+// BuildManifest assembles the manifest from the accumulated cells. Cells
+// are sorted by (workload, machine, config hash, memo-hit), so the
+// document is deterministic regardless of worker-pool completion order.
+func (c *Campaign) BuildManifest(info ManifestInfo) *Manifest {
+	c.mu.Lock()
+	cells := make([]ManifestCell, len(c.cells))
+	copy(cells, c.cells)
+	c.mu.Unlock()
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.ConfigHash != b.ConfigHash {
+			return a.ConfigHash < b.ConfigHash
+		}
+		return !a.MemoHit && b.MemoHit
+	})
+
+	var totals ManifestTotals
+	totals.WallSeconds = info.WallSeconds
+	distinct := make(map[string]bool)
+	for _, cell := range cells {
+		totals.Cells++
+		distinct[cell.ConfigHash] = true
+		if cell.Outcome == OutcomeFailed {
+			totals.Failed++
+		}
+		if cell.MemoHit {
+			totals.MemoHits++
+		} else if cell.Outcome == OutcomeOK {
+			totals.SimCycles += cell.Cycles
+			totals.SimInsts += cell.Insts
+		}
+	}
+
+	return &Manifest{
+		Schema:      ManifestSchema,
+		CreatedAt:   info.CreatedAt.Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Command:     info.Command,
+		Seed:        info.Seed,
+		Insts:       info.Insts,
+		Workloads:   info.Workloads,
+		Parallel:    info.Parallel,
+		Experiments: info.Experiments,
+		ConfigHash:  campaignHash(info, distinct),
+		BenchJSON:   info.BenchJSON,
+		TraceOut:    info.TraceOut,
+		Bundles:     info.Bundles,
+		Cells:       cells,
+		Totals:      totals,
+	}
+}
+
+// campaignHash fingerprints the campaign inputs: seed, budget, workload
+// list and the sorted set of distinct machine-configuration hashes.
+func campaignHash(info ManifestInfo, distinct map[string]bool) string {
+	hashes := make([]string, 0, len(distinct))
+	for h := range distinct {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	payload, _ := json.Marshal(struct {
+		Seed      int64    `json:"seed"`
+		Insts     uint64   `json:"insts"`
+		Workloads []string `json:"workloads"`
+		Configs   []string `json:"configs"`
+	}{info.Seed, info.Insts, info.Workloads, hashes})
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:6])
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ManifestSchema identifies the manifest format. Bump the suffix on any
+// incompatible change; cmd/manifestcheck refuses unknown schemas.
+const ManifestSchema = "portsim-manifest/v1"
+
+// Cell outcomes.
+const (
+	OutcomeOK     = "ok"
+	OutcomeFailed = "failed"
+)
+
+// ManifestCell records one experiment cell: the (machine, workload) pair,
+// the hash of the exact machine configuration it ran, and what happened.
+type ManifestCell struct {
+	Workload   string `json:"workload"`
+	Machine    string `json:"machine"`
+	ConfigHash string `json:"config_hash"`
+	// Outcome is OutcomeOK or OutcomeFailed.
+	Outcome string `json:"outcome"`
+	// MemoHit marks a cell satisfied from the runner's memo cache; its
+	// cycles and instructions describe the original simulation and are
+	// excluded from the totals.
+	MemoHit     bool    `json:"memo_hit,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Cycles      uint64  `json:"cycles"`
+	Insts       uint64  `json:"insts"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// ManifestTotals aggregates the cells.
+type ManifestTotals struct {
+	Cells    int `json:"cells"`
+	Failed   int `json:"failed"`
+	MemoHits int `json:"memo_hits"`
+	// SimCycles and SimInsts sum over simulated (non-memo-hit, successful)
+	// cells only, matching the runner's own work accounting.
+	SimCycles   uint64  `json:"sim_cycles"`
+	SimInsts    uint64  `json:"sim_insts"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Manifest ties a campaign's outputs back to its exact inputs: seeds,
+// workloads, per-cell configuration hashes and outcomes, and the paths of
+// every artifact the run produced.
+type Manifest struct {
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_at"` // RFC 3339
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Command is the argv the campaign ran with, for reproduction.
+	Command []string `json:"command,omitempty"`
+
+	Seed        int64    `json:"seed"`
+	Insts       uint64   `json:"insts"`
+	Workloads   []string `json:"workloads"`
+	Parallel    int      `json:"parallel"`
+	Experiments []string `json:"experiments,omitempty"`
+
+	// ConfigHash fingerprints the whole campaign: seed, budget, workloads
+	// and every distinct machine-configuration hash that ran.
+	ConfigHash string `json:"config_hash"`
+
+	// Artifact paths, as written (possibly relative to the working
+	// directory of the run).
+	BenchJSON string   `json:"bench_json,omitempty"`
+	TraceOut  string   `json:"trace_out,omitempty"`
+	Bundles   []string `json:"bundles,omitempty"`
+
+	Cells  []ManifestCell `json:"cells"`
+	Totals ManifestTotals `json:"totals"`
+}
+
+// HashConfig fingerprints one machine-configuration JSON document. The
+// short hex prefix keeps manifests and filenames readable; 48 bits is
+// plenty for the tens of distinct configurations a campaign holds.
+func HashConfig(cfgJSON []byte) string {
+	sum := sha256.Sum256(cfgJSON)
+	return hex.EncodeToString(sum[:6])
+}
+
+// Validate checks structural integrity: schema, timestamps, per-cell
+// fields, and that the totals agree with the cells they summarise. It is
+// the whole of cmd/manifestcheck.
+func (m *Manifest) Validate() error {
+	if m.Schema != ManifestSchema {
+		return fmt.Errorf("manifest: schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if _, err := time.Parse(time.RFC3339, m.CreatedAt); err != nil {
+		return fmt.Errorf("manifest: created_at %q is not RFC 3339: %v", m.CreatedAt, err)
+	}
+	if len(m.Workloads) == 0 {
+		return fmt.Errorf("manifest: no workloads")
+	}
+	if m.Insts == 0 {
+		return fmt.Errorf("manifest: zero instruction budget")
+	}
+	if m.Parallel < 1 {
+		return fmt.Errorf("manifest: parallel %d, want >= 1", m.Parallel)
+	}
+	want := ManifestTotals{WallSeconds: m.Totals.WallSeconds}
+	for i, c := range m.Cells {
+		where := fmt.Sprintf("manifest: cell %d (%s on %s)", i, c.Workload, c.Machine)
+		if c.Workload == "" || c.Machine == "" {
+			return fmt.Errorf("manifest: cell %d missing workload or machine name", i)
+		}
+		if c.ConfigHash == "" {
+			return fmt.Errorf("%s: missing config_hash", where)
+		}
+		switch c.Outcome {
+		case OutcomeOK:
+			if c.Error != "" {
+				return fmt.Errorf("%s: outcome ok but error %q", where, c.Error)
+			}
+		case OutcomeFailed:
+			if c.Error == "" {
+				return fmt.Errorf("%s: outcome failed without an error", where)
+			}
+			want.Failed++
+		default:
+			return fmt.Errorf("%s: unknown outcome %q", where, c.Outcome)
+		}
+		if c.WallSeconds < 0 {
+			return fmt.Errorf("%s: negative wall_seconds %v", where, c.WallSeconds)
+		}
+		if c.MemoHit {
+			want.MemoHits++
+		} else if c.Outcome == OutcomeOK {
+			want.SimCycles += c.Cycles
+			want.SimInsts += c.Insts
+		}
+		want.Cells++
+	}
+	if m.Totals != want {
+		return fmt.Errorf("manifest: totals %+v disagree with cells (want %+v)", m.Totals, want)
+	}
+	if m.Totals.WallSeconds < 0 {
+		return fmt.Errorf("manifest: negative total wall_seconds %v", m.Totals.WallSeconds)
+	}
+	if m.ConfigHash == "" {
+		return fmt.Errorf("manifest: missing config_hash")
+	}
+	return nil
+}
+
+// WriteManifest validates and writes the manifest as indented JSON.
+func WriteManifest(path string, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadManifest parses and validates a manifest file.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %s: %v", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleCampaign() *Campaign {
+	reg := NewRegistry()
+	c := NewCampaign(reg, 4)
+	c.CellDone(CellSample{
+		Machine: "baseline-1port", Workload: "compress", ConfigJSON: []byte(`{"ports":1}`),
+		WallSeconds: 0.5, Cycles: 10_000, Insts: 8_000,
+		PortUtilization: 0.4, PortRejectRate: 0.2,
+	})
+	c.CellDone(CellSample{
+		Machine: "baseline-1port", Workload: "compress", ConfigJSON: []byte(`{"ports":1}`),
+		MemoHit: true, Cycles: 10_000, Insts: 8_000,
+		PortUtilization: 0.4, PortRejectRate: 0.2,
+	})
+	c.CellDone(CellSample{
+		Machine: "2-port", Workload: "eqntott", ConfigJSON: []byte(`{"ports":2}`),
+		WallSeconds: 0.25, Cycles: 5_000, Insts: 4_500,
+		PortUtilization: 0.3, PortRejectRate: 0.05,
+	})
+	c.CellDone(CellSample{
+		Machine: "2-port", Workload: "compress", ConfigJSON: []byte(`{"ports":2}`),
+		Failed: true, Error: "experiments: deadline exceeded",
+		PortUtilization: -1, PortRejectRate: -1,
+	})
+	return c
+}
+
+func sampleInfo() ManifestInfo {
+	return ManifestInfo{
+		CreatedAt:   time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Command:     []string{"portbench", "-quick"},
+		Seed:        42,
+		Insts:       40_000,
+		Workloads:   []string{"compress", "eqntott"},
+		Parallel:    4,
+		Experiments: []string{"T2", "F1"},
+		BenchJSON:   "BENCH_ci.json",
+		WallSeconds: 1.5,
+	}
+}
+
+func TestBuildManifestValidatesAndSorts(t *testing.T) {
+	m := sampleCampaign().BuildManifest(sampleInfo())
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built manifest invalid: %v", err)
+	}
+	if m.Totals.Cells != 4 || m.Totals.Failed != 1 || m.Totals.MemoHits != 1 {
+		t.Errorf("totals = %+v", m.Totals)
+	}
+	if m.Totals.SimCycles != 15_000 || m.Totals.SimInsts != 12_500 {
+		t.Errorf("sim totals = %d/%d, want 15000/12500", m.Totals.SimCycles, m.Totals.SimInsts)
+	}
+	// Sorted by workload, then machine; the memoised duplicate follows its
+	// simulated twin.
+	wantOrder := []string{
+		"compress/2-port", "compress/baseline-1port", "compress/baseline-1port", "eqntott/2-port",
+	}
+	for i, cell := range m.Cells {
+		if got := cell.Workload + "/" + cell.Machine; got != wantOrder[i] {
+			t.Errorf("cell %d = %s, want %s", i, got, wantOrder[i])
+		}
+	}
+	if m.Cells[1].MemoHit || !m.Cells[2].MemoHit {
+		t.Error("simulated cell does not precede its memoised duplicate")
+	}
+	if m.ConfigHash == "" || m.Cells[0].ConfigHash == "" {
+		t.Error("missing config hashes")
+	}
+}
+
+// TestManifestOrderInsensitive pins determinism: the same cells arriving
+// in a different completion order must produce an identical manifest.
+func TestManifestOrderInsensitive(t *testing.T) {
+	a := sampleCampaign().BuildManifest(sampleInfo())
+
+	reg := NewRegistry()
+	c := NewCampaign(reg, 4)
+	c.CellDone(CellSample{
+		Machine: "2-port", Workload: "compress", ConfigJSON: []byte(`{"ports":2}`),
+		Failed: true, Error: "experiments: deadline exceeded",
+		PortUtilization: -1, PortRejectRate: -1,
+	})
+	c.CellDone(CellSample{
+		Machine: "2-port", Workload: "eqntott", ConfigJSON: []byte(`{"ports":2}`),
+		WallSeconds: 0.25, Cycles: 5_000, Insts: 4_500,
+		PortUtilization: 0.3, PortRejectRate: 0.05,
+	})
+	c.CellDone(CellSample{
+		Machine: "baseline-1port", Workload: "compress", ConfigJSON: []byte(`{"ports":1}`),
+		MemoHit: true, Cycles: 10_000, Insts: 8_000,
+		PortUtilization: 0.4, PortRejectRate: 0.2,
+	})
+	c.CellDone(CellSample{
+		Machine: "baseline-1port", Workload: "compress", ConfigJSON: []byte(`{"ports":1}`),
+		WallSeconds: 0.5, Cycles: 10_000, Insts: 8_000,
+		PortUtilization: 0.4, PortRejectRate: 0.2,
+	})
+	b := c.BuildManifest(sampleInfo())
+
+	// Wall-second fields differ only via info (identical here); everything
+	// else must match cell for cell.
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Errorf("cell %d differs:\n%+v\n%+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	if a.ConfigHash != b.ConfigHash {
+		t.Errorf("config hashes differ: %s vs %s", a.ConfigHash, b.ConfigHash)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleCampaign().BuildManifest(sampleInfo())
+	path := filepath.Join(t.TempDir(), "MANIFEST.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ManifestSchema || got.Totals != m.Totals || len(got.Cells) != len(m.Cells) {
+		t.Errorf("round trip drifted: %+v", got)
+	}
+}
+
+func TestManifestValidateRejectsCorruption(t *testing.T) {
+	fresh := func() *Manifest { return sampleCampaign().BuildManifest(sampleInfo()) }
+	cases := []struct {
+		name    string
+		corrupt func(*Manifest)
+		wantErr string
+	}{
+		{"schema", func(m *Manifest) { m.Schema = "portsim-manifest/v0" }, "schema"},
+		{"timestamp", func(m *Manifest) { m.CreatedAt = "yesterday" }, "RFC 3339"},
+		{"no workloads", func(m *Manifest) { m.Workloads = nil }, "no workloads"},
+		{"zero insts", func(m *Manifest) { m.Insts = 0 }, "instruction budget"},
+		{"parallel", func(m *Manifest) { m.Parallel = 0 }, "parallel"},
+		{"cell names", func(m *Manifest) { m.Cells[0].Workload = "" }, "missing workload"},
+		{"config hash", func(m *Manifest) { m.Cells[0].ConfigHash = "" }, "config_hash"},
+		{"outcome", func(m *Manifest) { m.Cells[0].Outcome = "maybe" }, "unknown outcome"},
+		{"ok with error", func(m *Manifest) {
+			for i := range m.Cells {
+				if m.Cells[i].Outcome == OutcomeOK {
+					m.Cells[i].Error = "spurious"
+					return
+				}
+			}
+		}, "outcome ok but error"},
+		{"failed without error", func(m *Manifest) {
+			for i := range m.Cells {
+				if m.Cells[i].Outcome == OutcomeFailed {
+					m.Cells[i].Error = ""
+					return
+				}
+			}
+		}, "without an error"},
+		{"totals", func(m *Manifest) { m.Totals.SimCycles++ }, "disagree"},
+		{"negative wall", func(m *Manifest) { m.Cells[0].WallSeconds = -1 }, "negative wall_seconds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := fresh()
+			tc.corrupt(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("corruption accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWriteManifestRefusesInvalid(t *testing.T) {
+	m := sampleCampaign().BuildManifest(sampleInfo())
+	m.Schema = "nope"
+	if err := WriteManifest(filepath.Join(t.TempDir(), "m.json"), m); err == nil {
+		t.Fatal("invalid manifest written")
+	}
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): for every metric a # HELP and # TYPE
+// line, then the samples; histograms expand into cumulative _bucket series
+// with le labels, plus _sum and _count. Metrics appear in registration
+// order, so the body is deterministic for a fixed snapshot.
+func WritePrometheus(w io.Writer, snap []MetricSnapshot) error {
+	for _, m := range snap {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+			return err
+		}
+		switch m.Kind {
+		case string(kindCounter):
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.Name, m.IntValue); err != nil {
+				return err
+			}
+		case string(kindGauge):
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value)); err != nil {
+				return err
+			}
+		case string(kindHistogram):
+			for _, b := range m.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, formatBound(b.UpperBound), b.Cumulative); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", m.Name, formatFloat(m.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", m.Name, m.Count); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("telemetry: unknown metric kind %q for %s", m.Kind, m.Name)
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// round-trip representation, NaN/Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatBound renders a bucket upper bound for the le label.
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "a counter")
+	g := reg.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(41)
+	g.Set(2.5)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d metrics, want 1", len(snap))
+	}
+	m := snap[0]
+	if m.Count != 5 {
+		t.Errorf("count = %d, want 5", m.Count)
+	}
+	if want := 0.5 + 1 + 1.5 + 3 + 100; m.Sum != want {
+		t.Errorf("sum = %v, want %v", m.Sum, want)
+	}
+	// Cumulative: <=1 holds 0.5 and 1; <=2 adds 1.5; <=4 adds 3; +Inf adds
+	// 100.
+	wantCum := []uint64{2, 3, 4, 5}
+	if len(m.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(m.Buckets), len(wantCum))
+	}
+	for i, b := range m.Buckets {
+		if b.Cumulative != wantCum[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, b.Cumulative, wantCum[i])
+		}
+	}
+	if !math.IsInf(m.Buckets[len(m.Buckets)-1].UpperBound, 1) {
+		t.Error("last bucket bound is not +Inf")
+	}
+}
+
+func TestSnapshotIsRegistrationOrdered(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_total", "")
+	reg.Gauge("aa", "")
+	reg.GaugeFunc("mm", "", func() float64 { return 7 })
+	snap := reg.Snapshot()
+	want := []string{"zz_total", "aa", "mm"}
+	for i, m := range snap {
+		if m.Name != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, m.Name, want[i])
+		}
+	}
+	if snap[2].Value != 7 {
+		t.Errorf("gauge func value = %v, want 7", snap[2].Value)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	for _, name := range []string{"", "1abc", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", name)
+				}
+			}()
+			reg.Counter(name, "")
+		}()
+	}
+	reg.Counter("dup", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate name accepted")
+			}
+		}()
+		reg.Gauge("dup", "")
+	}()
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	reg := NewRegistry()
+	for i, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds case %d accepted", i)
+				}
+			}()
+			reg.Histogram("h", "", bounds)
+		}()
+	}
+}
+
+// TestConcurrentUpdates exercises the registry under the race detector the
+// way a campaign does: workers updating, a scraper snapshotting.
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h", "", []float64{1, 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != 4000 {
+		t.Errorf("counter = %d, want 4000", c.Value())
+	}
+	snap := reg.Snapshot()
+	if snap[1].Count != 4000 {
+		t.Errorf("histogram count = %d, want 4000", snap[1].Count)
+	}
+}

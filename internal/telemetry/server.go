@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server publishes a registry over HTTP: /metrics (Prometheus text),
+// /vars (expvar-style JSON), /healthz (liveness). It is the opt-in side
+// channel behind `portbench -listen`; nothing in the simulator ever talks
+// to it — scrapes only read registry snapshots.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	reg   *Registry
+	start time.Time
+}
+
+// Serve binds addr (host:port; :0 picks a free port) and serves the
+// registry until Close. It returns once the listener is bound, so the
+// caller can report the concrete address before the campaign starts.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, reg: reg, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/vars", s.handleVars)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (concrete even for :0 requests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, s.reg.Snapshot())
+}
+
+// handleVars renders the snapshot as a single JSON object keyed by metric
+// name, in the spirit of expvar: scalars for counters and gauges, an
+// object with buckets/sum/count for histograms. Non-finite gauge values
+// are stringified, since JSON has no Inf/NaN.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.Snapshot()
+	vars := make(map[string]any, len(snap))
+	for _, m := range snap {
+		switch m.Kind {
+		case string(kindCounter):
+			vars[m.Name] = m.IntValue
+		case string(kindGauge):
+			if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+				vars[m.Name] = formatFloat(m.Value)
+			} else {
+				vars[m.Name] = m.Value
+			}
+		case string(kindHistogram):
+			buckets := make([]map[string]any, len(m.Buckets))
+			for i, b := range m.Buckets {
+				buckets[i] = map[string]any{
+					"le":         formatBound(b.UpperBound),
+					"cumulative": b.Cumulative,
+				}
+			}
+			vars[m.Name] = map[string]any{
+				"buckets": buckets,
+				"sum":     m.Sum,
+				"count":   m.Count,
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(vars)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerServesLiveMetricsMidRun is the acceptance-criterion test for
+// the -listen endpoint: while cells are still completing, /metrics must
+// serve the campaign gauges and successive scrapes must observe progress.
+func TestServerServesLiveMetricsMidRun(t *testing.T) {
+	reg := NewRegistry()
+	camp := NewCampaign(reg, 64)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	cell := func(i int) CellSample {
+		return CellSample{
+			Machine:         "baseline-1port",
+			Workload:        "compress",
+			ConfigJSON:      []byte(fmt.Sprintf(`{"cell":%d}`, i)),
+			WallSeconds:     0.01,
+			Cycles:          1000,
+			Insts:           800,
+			PortUtilization: 0.4,
+			PortRejectRate:  0.1,
+		}
+	}
+
+	// First half of the campaign, then a mid-run scrape, then the rest
+	// completing concurrently with more scrapes.
+	for i := 0; i < 32; i++ {
+		camp.CellDone(cell(i))
+	}
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "portsim_cells_done_total 32\n") {
+		t.Errorf("mid-run /metrics missing done=32:\n%s", body)
+	}
+	if !strings.Contains(body, "portsim_cells_planned 64\n") {
+		t.Errorf("mid-run /metrics missing planned gauge:\n%s", body)
+	}
+	if !strings.Contains(body, "portsim_sim_cycles_total 32000\n") {
+		t.Errorf("mid-run /metrics missing cycle total:\n%s", body)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 32; i < 64; i++ {
+			camp.CellDone(cell(i))
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		get(t, base+"/metrics") // must never error or race
+	}
+	wg.Wait()
+
+	_, body = get(t, base+"/metrics")
+	if !strings.Contains(body, "portsim_cells_done_total 64\n") {
+		t.Errorf("final /metrics missing done=64:\n%s", body)
+	}
+	if !strings.Contains(body, `portsim_port_utilization_bucket{le="0.4"} 64`) {
+		t.Errorf("final /metrics missing utilization histogram:\n%s", body)
+	}
+}
+
+func TestServerVarsAndHealthz(t *testing.T) {
+	reg := NewRegistry()
+	camp := NewCampaign(reg, 2)
+	camp.CellDone(CellSample{
+		Machine: "m", Workload: "w", ConfigJSON: []byte("{}"),
+		Failed: true, Error: "deadline",
+		PortUtilization: -1, PortRejectRate: -1,
+	})
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health status = %v", health["status"])
+	}
+
+	code, body = get(t, base+"/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/vars not JSON: %v", err)
+	}
+	if vars["portsim_cells_failed_total"] != float64(1) {
+		t.Errorf("vars failed = %v, want 1", vars["portsim_cells_failed_total"])
+	}
+	hist, ok := vars["portsim_cell_wall_seconds"].(map[string]any)
+	if !ok {
+		t.Fatalf("vars histogram missing: %v", vars["portsim_cell_wall_seconds"])
+	}
+	if _, ok := hist["buckets"]; !ok {
+		t.Error("vars histogram has no buckets")
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", NewRegistry()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

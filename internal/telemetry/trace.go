@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"portsim/internal/diag"
+)
+
+// This file converts a flight-recorder tail into Chrome trace-event JSON,
+// the format Perfetto and chrome://tracing load directly. The mapping:
+// one process ("pipeline") carries instant tracks for fetch, issue, commit
+// and commit-stall; a second process ("cache ports") carries one lane per
+// port slot — grants and store drains claim lanes in arrival order within
+// each cycle, so a fully shaded lane row is a saturated port — plus a
+// rejects track where every refused access shows as an instant. Simulated
+// cycles are rendered as microseconds (1 cycle = 1us), giving Perfetto a
+// familiar time axis; there is no wall time anywhere in a trace.
+
+// Trace track geometry. Pipeline events live under pipelinePid, port
+// events under portsPid; within the ports process, lanes occupy tids
+// 1..Lanes and rejects sit just above them.
+const (
+	pipelinePid = 1
+	portsPid    = 2
+
+	tidFetch       = 1
+	tidIssue       = 2
+	tidCommit      = 3
+	tidCommitStall = 4
+)
+
+// TraceMeta describes the cell a tail was captured from.
+type TraceMeta struct {
+	// Machine and Workload name the cell.
+	Machine  string
+	Workload string
+	// Seed is the workload generator seed.
+	Seed int64
+	// Lanes is the port subsystem's peak grants per cycle (ports, or banks
+	// when banked) and sets the number of lane tracks.
+	Lanes int
+	// Dropped counts events lost to ring wraparound before the tail, and
+	// Total the events ever recorded, so the trace states exactly which
+	// window of history it shows.
+	Dropped uint64
+	Total   uint64
+}
+
+// TraceEvent is one Chrome trace-event object. Field names and the ph
+// phase codes are fixed by the trace-event format; every event the
+// exporter emits is either M (metadata), i (instant) or X (complete, with
+// a duration).
+type TraceEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat,omitempty"`
+	Ph    string  `json:"ph"`
+	Ts    float64 `json:"ts"`
+	Dur   float64 `json:"dur,omitempty"`
+	Pid   int     `json:"pid"`
+	Tid   int     `json:"tid"`
+	Scope string  `json:"s,omitempty"`
+	Args  any     `json:"args,omitempty"`
+}
+
+// eventArgs annotates a pipeline or port event.
+type eventArgs struct {
+	Seq  uint64 `json:"seq"`
+	Addr string `json:"addr"`
+}
+
+// nameArgs annotates a metadata event.
+type nameArgs struct {
+	Name string `json:"name"`
+}
+
+// Trace is a complete trace-event JSON document.
+type Trace struct {
+	TraceEvents []TraceEvent      `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// BuildTrace converts a flight-recorder tail into a trace. The events must
+// be in recording order (non-decreasing cycles), which is what
+// diag.Recorder.Events returns even after wraparound; a regression there
+// would silently scramble every track, so it is re-checked here and
+// reported as an error rather than trusted.
+func BuildTrace(events []diag.Event, meta TraceMeta) (*Trace, error) {
+	for i := 1; i < len(events); i++ {
+		if events[i].Cycle < events[i-1].Cycle {
+			return nil, fmt.Errorf("telemetry: flight-recorder events out of cycle order at index %d: cycle %d after %d",
+				i, events[i].Cycle, events[i-1].Cycle)
+		}
+	}
+	lanes := meta.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	tidRejects := lanes + 1
+
+	t := &Trace{
+		TraceEvents: make([]TraceEvent, 0, len(events)+8+lanes),
+		OtherData: map[string]string{
+			"machine":        meta.Machine,
+			"workload":       meta.Workload,
+			"seed":           strconv.FormatInt(meta.Seed, 10),
+			"events":         strconv.Itoa(len(events)),
+			"eventsRecorded": strconv.FormatUint(meta.Total, 10),
+			"eventsDropped":  strconv.FormatUint(meta.Dropped, 10),
+			"timeUnit":       "1us = 1 simulated cycle",
+		},
+	}
+
+	procName := func(pid int, name string) {
+		t.TraceEvents = append(t.TraceEvents, TraceEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Args: nameArgs{Name: name},
+		})
+	}
+	threadName := func(pid, tid int, name string) {
+		t.TraceEvents = append(t.TraceEvents, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: nameArgs{Name: name},
+		})
+	}
+	procName(pipelinePid, fmt.Sprintf("pipeline %s/%s", meta.Machine, meta.Workload))
+	threadName(pipelinePid, tidFetch, "fetch")
+	threadName(pipelinePid, tidIssue, "issue")
+	threadName(pipelinePid, tidCommit, "commit")
+	threadName(pipelinePid, tidCommitStall, "commit-stall")
+	procName(portsPid, "cache ports")
+	for lane := 1; lane <= lanes; lane++ {
+		threadName(portsPid, lane, fmt.Sprintf("port lane %d", lane-1))
+	}
+	threadName(portsPid, tidRejects, "rejects")
+
+	// laneCycle/laneNext assign each cycle's grants and drains to lanes in
+	// arrival order; a new cycle resets the rotation.
+	laneCycle := uint64(0)
+	laneNext := 0
+	laneFor := func(cycle uint64) int {
+		if cycle != laneCycle {
+			laneCycle, laneNext = cycle, 0
+		}
+		lane := laneNext
+		laneNext++
+		if lane >= lanes {
+			// More grants in one cycle than the configuration allows would
+			// be a simulator bug; keep the trace loadable by stacking the
+			// excess on the last lane.
+			lane = lanes - 1
+		}
+		return lane + 1
+	}
+
+	for _, ev := range events {
+		ts := float64(ev.Cycle)
+		args := eventArgs{Seq: ev.Seq, Addr: "0x" + strconv.FormatUint(ev.Addr, 16)}
+		switch ev.Kind {
+		case diag.EventFetch:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "fetch", Cat: "pipeline", Ph: "i", Ts: ts,
+				Pid: pipelinePid, Tid: tidFetch, Scope: "t", Args: args,
+			})
+		case diag.EventIssue:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "issue", Cat: "pipeline", Ph: "i", Ts: ts,
+				Pid: pipelinePid, Tid: tidIssue, Scope: "t", Args: args,
+			})
+		case diag.EventCommit:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "commit", Cat: "pipeline", Ph: "i", Ts: ts,
+				Pid: pipelinePid, Tid: tidCommit, Scope: "t", Args: args,
+			})
+		case diag.EventStall:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "commit-stall", Cat: "pipeline", Ph: "i", Ts: ts,
+				Pid: pipelinePid, Tid: tidCommitStall, Scope: "t", Args: args,
+			})
+		case diag.EventGrant:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "grant", Cat: "port", Ph: "X", Ts: ts, Dur: 1,
+				Pid: portsPid, Tid: laneFor(ev.Cycle), Args: args,
+			})
+		case diag.EventDrain:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "drain", Cat: "port", Ph: "X", Ts: ts, Dur: 1,
+				Pid: portsPid, Tid: laneFor(ev.Cycle), Args: args,
+			})
+		case diag.EventReject:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "reject", Cat: "port", Ph: "i", Ts: ts,
+				Pid: portsPid, Tid: tidRejects, Scope: "t", Args: args,
+			})
+		default:
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: ev.Kind.String(), Cat: "other", Ph: "i", Ts: ts,
+				Pid: pipelinePid, Tid: tidFetch, Scope: "t", Args: args,
+			})
+		}
+	}
+	return t, nil
+}
+
+// Encode renders the trace as JSON.
+func (t *Trace) Encode() ([]byte, error) {
+	return json.Marshal(t)
+}

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+
+	"portsim/internal/diag"
+)
+
+// sampleEvents is a port-conflict vignette: two grants and a drain in one
+// cycle on a 2-lane machine (one access stacked per lane plus overflow
+// pressure), a reject, pipeline activity around it.
+func sampleEvents() []diag.Event {
+	return []diag.Event{
+		{Cycle: 10, Kind: diag.EventFetch, Seq: 1, Addr: 0x1000},
+		{Cycle: 10, Kind: diag.EventIssue, Seq: 1, Addr: 0x2000},
+		{Cycle: 11, Kind: diag.EventGrant, Seq: 1, Addr: 0x2000},
+		{Cycle: 11, Kind: diag.EventGrant, Seq: 2, Addr: 0x2008},
+		{Cycle: 11, Kind: diag.EventReject, Seq: 3, Addr: 0x2010},
+		{Cycle: 12, Kind: diag.EventDrain, Seq: 4, Addr: 0x3000},
+		{Cycle: 12, Kind: diag.EventCommit, Seq: 1, Addr: 0x1000},
+		{Cycle: 13, Kind: diag.EventStall, Seq: 5, Addr: 0x4000},
+	}
+}
+
+func sampleMeta() TraceMeta {
+	return TraceMeta{Machine: "2-port", Workload: "compress", Seed: 42, Lanes: 2, Dropped: 100, Total: 108}
+}
+
+// TestTraceStructurallyValid is the acceptance-criterion test: the encoded
+// JSON must parse as a trace-event document whose events all carry
+// pid/tid/ph/ts (metadata events excepted for ts) with ts monotonically
+// non-decreasing per (pid, tid) track — the properties Perfetto's importer
+// requires.
+func TestTraceStructurallyValid(t *testing.T) {
+	tr, err := BuildTrace(sampleEvents(), sampleMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-parse generically, as a trace viewer would.
+	var doc struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+
+	type track struct{ pid, tid int }
+	lastTs := map[track]float64{}
+	phases := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		if name == "" || ph == "" {
+			t.Fatalf("event %d missing name or ph: %v", i, ev)
+		}
+		pid, okPid := ev["pid"].(float64)
+		if !okPid {
+			t.Fatalf("event %d missing pid: %v", i, ev)
+		}
+		phases[ph]++
+		if ph == "M" {
+			continue
+		}
+		tid, okTid := ev["tid"].(float64)
+		if !okTid {
+			t.Fatalf("event %d missing tid: %v", i, ev)
+		}
+		ts, okTs := ev["ts"].(float64)
+		if !okTs {
+			t.Fatalf("event %d missing ts: %v", i, ev)
+		}
+		tr := track{int(pid), int(tid)}
+		if prev, seen := lastTs[tr]; seen && ts < prev {
+			t.Errorf("event %d: ts %v regressed below %v on track %v", i, ts, prev, tr)
+		}
+		lastTs[tr] = ts
+	}
+	for _, ph := range []string{"M", "i", "X"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q-phase events in trace", ph)
+		}
+	}
+	if doc.OtherData["eventsDropped"] != "100" {
+		t.Errorf("otherData eventsDropped = %q, want 100", doc.OtherData["eventsDropped"])
+	}
+}
+
+// TestTraceLaneAssignment pins the per-port lane semantics: same-cycle
+// grants occupy distinct lanes, rejects live on their own track above the
+// lanes, and pipeline events stay in the pipeline process.
+func TestTraceLaneAssignment(t *testing.T) {
+	tr, err := BuildTrace(sampleEvents(), sampleMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grantTids []int
+	var rejectTid, drainTid int
+	for _, ev := range tr.TraceEvents {
+		switch ev.Name {
+		case "grant":
+			if ev.Pid != portsPid || ev.Ph != "X" || ev.Dur != 1 {
+				t.Errorf("grant not an X/dur=1 event in the ports process: %+v", ev)
+			}
+			grantTids = append(grantTids, ev.Tid)
+		case "reject":
+			rejectTid = ev.Tid
+			if ev.Ph != "i" {
+				t.Errorf("reject is %q, want instant", ev.Ph)
+			}
+		case "drain":
+			drainTid = ev.Tid
+		case "fetch", "issue", "commit", "commit-stall":
+			if ev.Pid != pipelinePid {
+				t.Errorf("%s event outside the pipeline process: %+v", ev.Name, ev)
+			}
+		}
+	}
+	if len(grantTids) != 2 || grantTids[0] == grantTids[1] {
+		t.Errorf("same-cycle grants share a lane: tids %v", grantTids)
+	}
+	if rejectTid != 3 { // lanes 1..2, rejects above
+		t.Errorf("reject tid = %d, want 3", rejectTid)
+	}
+	if drainTid != 1 { // new cycle resets the lane rotation
+		t.Errorf("drain tid = %d, want 1", drainTid)
+	}
+}
+
+func TestBuildTraceRejectsUnsortedEvents(t *testing.T) {
+	events := []diag.Event{
+		{Cycle: 5, Kind: diag.EventCommit},
+		{Cycle: 4, Kind: diag.EventCommit},
+	}
+	if _, err := BuildTrace(events, sampleMeta()); err == nil {
+		t.Fatal("out-of-order events accepted")
+	}
+}
+
+func TestBuildTraceEmptyAndZeroLanes(t *testing.T) {
+	tr, err := BuildTrace(nil, TraceMeta{Machine: "m", Workload: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metadata only, but still a loadable document.
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "M" {
+			t.Errorf("unexpected non-metadata event in empty trace: %+v", ev)
+		}
+	}
+	if _, err := tr.Encode(); err != nil {
+		t.Fatal(err)
+	}
+}
