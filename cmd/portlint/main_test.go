@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"portsim/internal/lint"
 )
 
 func TestList(t *testing.T) {
@@ -12,7 +15,7 @@ func TestList(t *testing.T) {
 	if err != nil || code != 0 {
 		t.Fatalf("run(-list) = %d, %v", code, err)
 	}
-	for _, name := range []string{"configbounds", "counterhygiene", "cyclemath", "detrand", "floatcmp", "hotpath"} {
+	for _, name := range []string{"configbounds", "counterhygiene", "cyclemath", "detrand", "escapegate", "floatcmp", "hotpath", "hotpathclosure", "maporder"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
 		}
@@ -41,5 +44,105 @@ func TestFindingsExitOne(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "finding(s)") {
 		t.Errorf("missing findings summary:\n%s", out.String())
+	}
+}
+
+// TestJSONByteStable runs -json twice over the hotpathclosure fixture (which
+// produces active, suppressed, and chain-bearing findings) and asserts the
+// acceptance criterion: byte-identical output that validates against the
+// portlint-diag/v1 schema.
+func TestJSONByteStable(t *testing.T) {
+	fixture := "../../internal/lint/hotpathclosure/testdata/src/a"
+	var first, second bytes.Buffer
+	code, err := run([]string{"-json", fixture}, &first)
+	if err != nil {
+		t.Fatalf("run(-json): %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("fixture has active findings; exit %d, want 1", code)
+	}
+	if _, err := run([]string{"-json", fixture}, &second); err != nil {
+		t.Fatalf("run(-json) second pass: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("-json output differs across two consecutive runs:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+	}
+
+	var diag lint.DiagFile
+	if err := json.Unmarshal(first.Bytes(), &diag); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if diag.Format != lint.DiagFormat {
+		t.Errorf("format = %q, want %q", diag.Format, lint.DiagFormat)
+	}
+	if len(diag.Findings) == 0 {
+		t.Fatal("no findings in JSON output for a fixture with planted violations")
+	}
+	active, suppressed, chains := 0, 0, 0
+	for _, f := range diag.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Message == "" || f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding missing required fields: %+v", f)
+		}
+		if f.Suppressed {
+			suppressed++
+		} else {
+			active++
+		}
+		if len(f.Chain) > 0 {
+			chains++
+		}
+	}
+	if active != diag.Counts.Active || suppressed != diag.Counts.Suppressed {
+		t.Errorf("counts = %+v, want active %d suppressed %d", diag.Counts, active, suppressed)
+	}
+	if suppressed == 0 {
+		t.Error("fixture's //portlint:ignore hotpathclosure line should appear as a suppressed finding")
+	}
+	if chains == 0 {
+		t.Error("closure findings should carry the root→sink chain")
+	}
+}
+
+// TestSuppressionsAudit checks the -suppressions mode against a fixture with
+// one valid, one comment-less, one stale, and one unknown-analyzer
+// directive.
+func TestSuppressionsAudit(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-suppressions", "./testdata/src/sup"}, &out)
+	if err != nil {
+		t.Fatalf("run(-suppressions): %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("audit of a fixture with bad directives: exit %d, want 1\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"MISSING-INVARIANT-COMMENT",
+		"STALE",
+		"UNKNOWN-ANALYZER",
+		"4 suppression directive(s), 3 problem(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("audit output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "fixture exercising a justified suppression\" ok") {
+		t.Errorf("valid directive not reported ok:\n%s", text)
+	}
+}
+
+// TestSuppressionsAuditCleanRepo mirrors the CI gate: every directive in the
+// repository carries an invariant comment and still fires.
+func TestSuppressionsAuditCleanRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo audit is slow")
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-suppressions", "../../..."}, &out)
+	if err != nil {
+		t.Fatalf("run(-suppressions ../../...): %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("repository suppression audit failed:\n%s", out.String())
 	}
 }

@@ -1,0 +1,23 @@
+// Package sup is a fixture for the -suppressions audit: one valid
+// directive, one missing its invariant comment, one stale (the ignored
+// analyzer does not fire on the covered lines), and one naming an analyzer
+// that does not exist.
+package sup
+
+import "time"
+
+func valid() uint64 {
+	return uint64(time.Now().UnixNano()) //portlint:ignore detrand fixture exercising a justified suppression
+}
+
+func missingReason() uint64 {
+	return uint64(time.Now().UnixNano()) //portlint:ignore detrand
+}
+
+func stale() int {
+	return 3 //portlint:ignore floatcmp nothing fires on this line, the audit must report it stale
+}
+
+func unknown() int {
+	return 4 //portlint:ignore nosuchanalyzer typo'd analyzer names must be reported
+}

@@ -300,7 +300,7 @@ func (p *MemPort) noteMiss(addr uint64, r mem.AccessResult) {
 	if p.banked {
 		w.bank = p.bankOf(addr)
 	}
-	p.pendingRefills = append(p.pendingRefills, w)
+	p.pendingRefills = append(p.pendingRefills, w) //portlint:ignore hotpathclosure bounded by outstanding MSHR fills; BeginCycle drains via pendingRefills[:0], so the backing array stops growing at its high-water mark
 }
 
 // portFree reports whether any access slot remains this cycle (for banked

@@ -466,6 +466,8 @@ func (c *Core) limitReached() bool {
 // step advances one cycle. Stage order within a cycle follows the usual
 // reverse-pipeline convention so that each stage sees the previous cycle's
 // state of the stage in front of it.
+//
+//portlint:hotpath
 func (c *Core) step() {
 	c.port.BeginCycle(c.cycle)
 	c.commit()

@@ -107,4 +107,11 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+
+	// Chain, when non-empty, is the static call chain that makes the
+	// diagnostic whole-program: the first element is the annotated root
+	// (for the hotpath-closure analyzers, a //portlint:hotpath function)
+	// and the last is the function containing Pos. The driver carries it
+	// into the finding and the portlint-diag/v1 JSON output.
+	Chain []string
 }

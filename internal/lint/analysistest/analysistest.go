@@ -47,10 +47,14 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 		t.Fatalf("analysistest: %v", err)
 	}
 
-	findings, err := lint.Analyze(pkgs, a)
+	all, err := lint.Analyze(pkgs, a)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	// Want comments describe the findings that would gate CI; suppressed
+	// ones stay invisible here so fixtures can assert an ignore directive
+	// keeps a line silent.
+	findings := lint.Active(all)
 
 	type lineKey struct {
 		file string

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+)
+
+// DiagFormat is the format identifier of the machine-readable diagnostics
+// file emitted by portlint -json.
+const DiagFormat = "portlint-diag/v1"
+
+// DiagFile is the top-level object of the portlint-diag/v1 schema. Findings
+// appear in the driver's stable order (file, line, column, analyzer,
+// message), with file paths relative to the analyzed module root and
+// slash-separated, so two runs over the same tree produce byte-identical
+// output on any platform.
+type DiagFile struct {
+	Format   string        `json:"format"`
+	Findings []DiagFinding `json:"findings"`
+	Counts   DiagCounts    `json:"counts"`
+}
+
+// DiagFinding is one finding in portlint-diag/v1.
+type DiagFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Chain is the root→sink call chain for whole-program findings.
+	Chain []string `json:"chain,omitempty"`
+	// Suppressed reports whether a //portlint:ignore directive silences
+	// the finding; suppressed findings do not fail the run.
+	Suppressed bool `json:"suppressed"`
+}
+
+// DiagCounts summarizes a run for CI dashboards.
+type DiagCounts struct {
+	Active     int `json:"active"`
+	Suppressed int `json:"suppressed"`
+}
+
+// EncodeDiagnostics renders findings as portlint-diag/v1 JSON (indented,
+// trailing newline). dir is the module root the paths are made relative to;
+// paths outside it are kept absolute.
+func EncodeDiagnostics(dir string, findings []Finding) ([]byte, error) {
+	out := DiagFile{Format: DiagFormat, Findings: []DiagFinding{}}
+	for _, f := range findings {
+		file := f.Position.Filename
+		if dir != "" {
+			if rel, err := filepath.Rel(dir, file); err == nil && !isOutside(rel) {
+				file = rel
+			}
+		}
+		out.Findings = append(out.Findings, DiagFinding{
+			Analyzer:   f.Analyzer,
+			File:       filepath.ToSlash(file),
+			Line:       f.Position.Line,
+			Col:        f.Position.Column,
+			Message:    f.Message,
+			Chain:      f.Chain,
+			Suppressed: f.Suppressed,
+		})
+		if f.Suppressed {
+			out.Counts.Suppressed++
+		} else {
+			out.Counts.Active++
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("lint: encoding diagnostics: %v", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// isOutside reports whether a relative path escapes its base directory.
+func isOutside(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

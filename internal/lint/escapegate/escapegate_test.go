@@ -1,0 +1,12 @@
+package escapegate_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/escapegate"
+)
+
+func TestEscapeGate(t *testing.T) {
+	analysistest.Run(t, escapegate.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+package a
+
+import "fmt"
+
+// fixture for the escapegate analyzer: root() is annotated, leak() and
+// moved() are plain helpers the closure reaches, and the compiler-proven
+// escapes inside them must be reported with the call chain. Escapes inside
+// panic arguments are tolerated.
+
+var keepPtr *int
+
+//portlint:hotpath
+func root(n int) {
+	leak()
+	moved()
+	guarded(n)
+}
+
+func leak() {
+	x := new(int) // want `compiler-proven heap allocation in the hotpath closure: new\(int\) escapes to heap .*chain: a\.root -> a\.leak`
+	keepPtr = x
+}
+
+func moved() {
+	y := 0 // want `heap allocation in the hotpath closure: y escapes to heap .*chain: a\.root -> a\.moved`
+	keepPtr = &y
+}
+
+func guarded(n int) {
+	if n > 2 {
+		panic(fmt.Sprintf("bad n: %d", n)) // escape tolerated inside panic arguments
+	}
+}

@@ -24,11 +24,16 @@
 // count, fixed at construction) carries a //portlint:ignore hotpath comment
 // stating the invariant, exactly like the other portlint analyzers.
 //
+// The same body checks are exported as CheckBody for the hotpathclosure
+// analyzer, which applies them to every unannotated function the call graph
+// proves reachable from a marked root.
+//
 // Test files are not analyzed.
 package hotpath
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -50,17 +55,21 @@ func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !marked(fn) {
+			if !ok || fn.Body == nil || !Marked(fn) {
 				continue
 			}
-			check(pass, fn.Body)
+			CheckBody(pass.TypesInfo, fn.Body, "a //portlint:hotpath function", "hotpath",
+				func(pos token.Pos, format string, args ...any) {
+					pass.Reportf(pos, format, args...)
+				})
 		}
 	}
 	return nil
 }
 
-// marked reports whether the function's doc comment carries the directive.
-func marked(fn *ast.FuncDecl) bool {
+// Marked reports whether the function's doc comment carries the
+// //portlint:hotpath directive.
+func Marked(fn *ast.FuncDecl) bool {
 	if fn.Doc == nil {
 		return false
 	}
@@ -72,12 +81,25 @@ func marked(fn *ast.FuncDecl) bool {
 	return false
 }
 
-// check walks one marked function body. reuse collects the local variables
-// bound to base[:0] reslices before the flagging pass so that declaration
+// CheckBody runs the hot-path allocation checks over one function body.
+// where is the phrase naming why the body is hot ("a //portlint:hotpath
+// function" here; the closure analyzer substitutes its own wording), and
+// ignoreName is the analyzer name quoted in the append suppression hint.
+// reuse collection happens before the flagging pass so that declaration
 // order inside the body does not matter.
-func check(pass *analysis.Pass, body *ast.BlockStmt) {
+func CheckBody(info *types.Info, body *ast.BlockStmt, where, ignoreName string, report func(token.Pos, string, ...any)) {
+	c := &checker{info: info, where: where, ignoreName: ignoreName, report: report}
 	reuse := reuseSlices(body)
-	walk(pass, body, reuse, false)
+	c.walk(body, reuse, false)
+}
+
+// checker bundles the state one CheckBody invocation threads through the
+// walk.
+type checker struct {
+	info       *types.Info
+	where      string
+	ignoreName string
+	report     func(token.Pos, string, ...any)
 }
 
 // reuseSlices returns the names of local variables assigned a value of the
@@ -121,36 +143,36 @@ func isIntLiteral(e ast.Expr, lit string) bool {
 
 // walk descends the AST flagging allocation sites. inPanic is true while
 // inside the argument list of a panic call, where fmt is tolerated.
-func walk(pass *analysis.Pass, n ast.Node, reuse map[string]bool, inPanic bool) {
+func (c *checker) walk(n ast.Node, reuse map[string]bool, inPanic bool) {
 	ast.Inspect(n, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.CallExpr:
 			switch {
-			case isBuiltin(pass, e, "panic"):
+			case c.isBuiltin(e, "panic"):
 				for _, arg := range e.Args {
-					walk(pass, arg, reuse, true)
+					c.walk(arg, reuse, true)
 				}
 				return false
-			case isFmtCall(pass, e):
+			case c.isFmtCall(e):
 				if !inPanic {
-					pass.Reportf(e.Pos(), "fmt call in a //portlint:hotpath function allocates; format off the hot path (fmt is tolerated only inside panic arguments)")
+					c.report(e.Pos(), "fmt call in %s allocates; format off the hot path (fmt is tolerated only inside panic arguments)", c.where)
 				}
-			case isBuiltin(pass, e, "make"):
-				if len(e.Args) > 0 && isMapType(pass, e.Args[0]) {
-					pass.Reportf(e.Pos(), "make(map) in a //portlint:hotpath function allocates; use a flat slice or fixed-size array keyed by index")
+			case c.isBuiltin(e, "make"):
+				if len(e.Args) > 0 && c.isMapType(e.Args[0]) {
+					c.report(e.Pos(), "make(map) in %s allocates; use a flat slice or fixed-size array keyed by index", c.where)
 				} else {
-					pass.Reportf(e.Pos(), "make in a //portlint:hotpath function allocates per call; pre-allocate at construction and reuse")
+					c.report(e.Pos(), "make in %s allocates per call; pre-allocate at construction and reuse", c.where)
 				}
-			case isBuiltin(pass, e, "new"):
-				pass.Reportf(e.Pos(), "new in a //portlint:hotpath function allocates per call; pre-allocate at construction and reuse")
-			case isBuiltin(pass, e, "append"):
+			case c.isBuiltin(e, "new"):
+				c.report(e.Pos(), "new in %s allocates per call; pre-allocate at construction and reuse", c.where)
+			case c.isBuiltin(e, "append"):
 				if len(e.Args) > 0 && !isReuseTarget(e.Args[0], reuse) {
-					pass.Reportf(e.Pos(), "append into %s in a //portlint:hotpath function may grow an escaping slice; append only into base[:0] reuse slices (or //portlint:ignore hotpath with the capacity invariant)", types.ExprString(e.Args[0]))
+					c.report(e.Pos(), "append into %s in %s may grow an escaping slice; append only into base[:0] reuse slices (or //portlint:ignore %s with the capacity invariant)", types.ExprString(e.Args[0]), c.where, c.ignoreName)
 				}
 			}
 		case *ast.CompositeLit:
-			if isMapType(pass, e) {
-				pass.Reportf(e.Pos(), "map literal in a //portlint:hotpath function allocates; hoist it to a package-level variable or construction time")
+			if c.isMapType(e) {
+				c.report(e.Pos(), "map literal in %s allocates; hoist it to a package-level variable or construction time", c.where)
 			}
 		}
 		return true
@@ -169,17 +191,17 @@ func isReuseTarget(dst ast.Expr, reuse map[string]bool) bool {
 
 // isBuiltin reports whether the call's function is the named Go builtin
 // (and not a shadowing local identifier).
-func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+func (c *checker) isBuiltin(call *ast.CallExpr, name string) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	_, ok = c.info.Uses[id].(*types.Builtin)
 	return ok
 }
 
 // isFmtCall reports whether the call is a selector into package fmt.
-func isFmtCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+func (c *checker) isFmtCall(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
@@ -188,13 +210,13 @@ func isFmtCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	if !ok {
 		return false
 	}
-	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	pkg, ok := c.info.Uses[id].(*types.PkgName)
 	return ok && pkg.Imported().Path() == "fmt"
 }
 
 // isMapType reports whether the expression's type is a map.
-func isMapType(pass *analysis.Pass, e ast.Expr) bool {
-	tv, ok := pass.TypesInfo.Types[e]
+func (c *checker) isMapType(e ast.Expr) bool {
+	tv, ok := c.info.Types[e]
 	if !ok || tv.Type == nil {
 		return false
 	}

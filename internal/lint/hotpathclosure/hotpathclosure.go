@@ -1,0 +1,82 @@
+// Package hotpathclosure implements the whole-program companion to the
+// hotpath analyzer. Where hotpath checks only functions that carry the
+// //portlint:hotpath directive, hotpathclosure builds the static call graph
+// of the loaded module, computes every function reachable from a directive
+// root through the model packages (internal/cpu, internal/core,
+// internal/mem — plus any package that declares a root, so fixtures need no
+// configuration), and applies the same allocation discipline to each
+// reachable body. An unannotated allocating helper two hops below the cycle
+// loop is exactly as hot as the loop itself; this analyzer is what makes
+// the annotation transitive.
+//
+// Interface method calls are resolved conservatively to every in-repo
+// implementation. A reachable function that is genuinely cold — an error
+// drain, an end-of-run report — opts out with
+//
+//	//portlint:coldpath <invariant comment>
+//
+// in its doc comment; the comment is mandatory and must state why the edge
+// cannot run per cycle. Diagnostics carry the root→sink call chain both in
+// the message and in the structured Chain field of portlint-diag/v1 output.
+package hotpathclosure
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+
+	"portsim/internal/lint/analysis"
+	"portsim/internal/lint/callgraph"
+	"portsim/internal/lint/hotpath"
+)
+
+// Scope lists the import paths the closure may propagate through. Packages
+// that declare a //portlint:hotpath root are always in scope. Like
+// layerimports.Guarded, this is package-level configuration: the simulator's
+// model packages, where every per-cycle function lives.
+var Scope = []string{
+	"portsim/internal/core",
+	"portsim/internal/cpu",
+	"portsim/internal/mem",
+}
+
+// Analyzer is the hotpathclosure analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathclosure",
+	Doc: "propagates the //portlint:hotpath allocation discipline to every function " +
+		"reachable from a marked root through the model packages, reporting the " +
+		"root→sink call chain; //portlint:coldpath (with an invariant comment) stops propagation",
+	RunModule: runModule,
+}
+
+func runModule(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Pkgs)
+
+	for _, fn := range g.Funcs() {
+		if fn.Coldpath && fn.ColdpathReason == "" {
+			pass.Reportf(fn.Decl.Pos(), "//portlint:coldpath on %s needs an invariant comment on the directive line explaining why the function cannot run per cycle", callgraph.DisplayName(fn.Obj))
+		}
+		if fn.Coldpath && fn.Hotpath {
+			pass.Reportf(fn.Decl.Pos(), "%s is marked both //portlint:hotpath and //portlint:coldpath; pick one", callgraph.DisplayName(fn.Obj))
+		}
+	}
+
+	cl := g.HotpathClosure(Scope)
+	for _, e := range cl.Entries() {
+		if e.Root {
+			continue // the hotpath analyzer already checks annotated bodies
+		}
+		chain := e.Chain
+		where := fmt.Sprintf("the hotpath closure of %s", chain[0])
+		suffix := " [chain: " + strings.Join(chain, " -> ") + "]"
+		hotpath.CheckBody(e.Fn.Pkg.TypesInfo, e.Fn.Decl.Body, where, "hotpathclosure",
+			func(pos token.Pos, format string, args ...any) {
+				pass.Report(analysis.Diagnostic{
+					Pos:     pos,
+					Message: fmt.Sprintf(format, args...) + suffix,
+					Chain:   chain,
+				})
+			})
+	}
+	return nil
+}

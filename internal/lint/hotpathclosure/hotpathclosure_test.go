@@ -1,0 +1,12 @@
+package hotpathclosure_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/hotpathclosure"
+)
+
+func TestHotpathClosure(t *testing.T) {
+	analysistest.Run(t, hotpathclosure.Analyzer, "a")
+}

@@ -1,0 +1,50 @@
+package a
+
+// fixture for the hotpathclosure analyzer: root() is annotated, nothing
+// below it is, and the closure pass must find the allocations two hops
+// down, through interface dispatch, and stop at coldpath boundaries.
+
+var free []int
+
+//portlint:hotpath
+func root() {
+	hop()
+	drain()
+	emit(&impl{})
+	recycle()
+}
+
+func hop() {
+	leak()
+}
+
+func leak() {
+	_ = make([]int, 8) // want `make in the hotpath closure of a\.root allocates per call`
+}
+
+type sink interface{ put(int) }
+
+type impl struct{ buf []int }
+
+func (s *impl) put(v int) {
+	s.buf = append(s.buf, v) // want `append into s\.buf in the hotpath closure of a\.root`
+}
+
+func emit(s sink) { s.put(1) }
+
+// drain is genuinely cold and opts out with an invariant comment; nothing
+// under it is checked.
+//
+//portlint:coldpath runs once at end of simulation, outside the cycle loop
+func drain() {
+	_ = make([]int, 1024)
+}
+
+// badCold is missing the mandatory invariant comment.
+//
+//portlint:coldpath
+func badCold() {} // want `//portlint:coldpath on a\.badCold needs an invariant comment`
+
+func recycle() {
+	free = append(free, 1) //portlint:ignore hotpathclosure free-list capacity fixed at construction
+}

@@ -1,7 +1,11 @@
 // Package lint is the portlint driver: it loads packages, runs the analyzer
 // suite over them, applies //portlint:ignore suppressions and returns the
-// surviving findings in a stable order. cmd/portlint is a thin wrapper; the
-// repository's self-test runs the same entrypoints in-process.
+// findings in a stable order. Suppressed findings are retained with
+// Suppressed set rather than dropped, so the -json output can carry
+// suppression state and the -suppressions audit can detect stale
+// directives; text output and exit codes consider only active findings.
+// cmd/portlint is a thin wrapper; the repository's self-test runs the same
+// entrypoints in-process.
 package lint
 
 import (
@@ -15,10 +19,13 @@ import (
 	"portsim/internal/lint/counterhygiene"
 	"portsim/internal/lint/cyclemath"
 	"portsim/internal/lint/detrand"
+	"portsim/internal/lint/escapegate"
 	"portsim/internal/lint/floatcmp"
 	"portsim/internal/lint/hotpath"
+	"portsim/internal/lint/hotpathclosure"
 	"portsim/internal/lint/layerimports"
 	"portsim/internal/lint/loader"
+	"portsim/internal/lint/maporder"
 	"portsim/internal/lint/recoverhygiene"
 )
 
@@ -29,23 +36,45 @@ func Suite() []*analysis.Analyzer {
 		counterhygiene.Analyzer,
 		cyclemath.Analyzer,
 		detrand.Analyzer,
+		escapegate.Analyzer,
 		floatcmp.Analyzer,
 		hotpath.Analyzer,
+		hotpathclosure.Analyzer,
 		layerimports.Analyzer,
+		maporder.Analyzer,
 		recoverhygiene.Analyzer,
 	}
 }
 
-// Finding is one diagnostic surviving suppression, resolved to a concrete
-// source position.
+// Finding is one diagnostic resolved to a concrete source position.
 type Finding struct {
 	Analyzer string
 	Position token.Position
 	Message  string
+
+	// Chain is the root→sink call chain for whole-program diagnostics
+	// (hotpathclosure, escapegate); nil for per-site findings.
+	Chain []string
+
+	// Suppressed marks a finding silenced by a //portlint:ignore directive.
+	// Suppressed findings never fail a lint run; they are kept for the
+	// -json suppression state and the stale-suppression audit.
+	Suppressed bool
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Active filters findings down to the unsuppressed ones that gate CI.
+func Active(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // Run loads the patterns relative to dir and analyzes them with the given
@@ -67,16 +96,19 @@ func Analyze(pkgs []*analysis.Package, analyzers ...*analysis.Analyzer) ([]Findi
 		return nil, nil
 	}
 	fset := pkgs[0].Fset
-	suppressed := suppressions(fset, pkgs)
+	suppressed := suppressionIndex(Directives(pkgs))
 
 	var findings []Finding
 	report := func(name string) func(analysis.Diagnostic) {
 		return func(d analysis.Diagnostic) {
 			pos := fset.Position(d.Pos)
-			if suppressed[suppressionKey{pos.Filename, pos.Line, name}] {
-				return
-			}
-			findings = append(findings, Finding{Analyzer: name, Position: pos, Message: d.Message})
+			findings = append(findings, Finding{
+				Analyzer:   name,
+				Position:   pos,
+				Message:    d.Message,
+				Chain:      d.Chain,
+				Suppressed: suppressed[suppressionKey{pos.Filename, pos.Line, name}],
+			})
 		}
 	}
 	for _, a := range analyzers {
@@ -107,6 +139,10 @@ func Analyze(pkgs []*analysis.Package, analyzers ...*analysis.Analyzer) ([]Findi
 			}
 		}
 	}
+	// Stable order: position, then analyzer, then message — the message
+	// tie-break keeps same-position findings from the same analyzer (for
+	// example two escape diagnostics on one line) in a byte-stable order
+	// for -json.
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -118,7 +154,10 @@ func Analyze(pkgs []*analysis.Package, analyzers ...*analysis.Analyzer) ([]Findi
 		if a.Position.Column != b.Position.Column {
 			return a.Position.Column < b.Position.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return findings, nil
 }
@@ -132,12 +171,24 @@ type suppressionKey struct {
 
 const ignorePrefix = "//portlint:ignore"
 
-// suppressions collects //portlint:ignore directives. A directive silences
-// the named analyzers on its own line and on the line below, which covers
-// both trailing comments and standalone comment lines above the flagged
-// statement.
-func suppressions(fset *token.FileSet, pkgs []*analysis.Package) map[suppressionKey]bool {
-	sup := make(map[suppressionKey]bool)
+// Directive is one //portlint:ignore comment in the analyzed sources.
+type Directive struct {
+	Position token.Position
+	// Analyzers are the comma-separated analyzer names the directive
+	// silences.
+	Analyzers []string
+	// Reason is the invariant comment after the analyzer list; the
+	// -suppressions audit requires it to be non-empty.
+	Reason string
+}
+
+// Directives collects every //portlint:ignore directive in the loaded
+// packages, in deterministic (package, file, position) order. A directive
+// silences the named analyzers on its own line and on the line below, which
+// covers both trailing comments and standalone comment lines above the
+// flagged statement.
+func Directives(pkgs []*analysis.Package) []Directive {
+	var dirs []Directive
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, group := range f.Comments {
@@ -150,16 +201,35 @@ func suppressions(fset *token.FileSet, pkgs []*analysis.Package) map[suppression
 					if len(fields) == 0 {
 						continue
 					}
-					pos := fset.Position(c.Pos())
+					var names []string
 					for _, name := range strings.Split(fields[0], ",") {
-						if name == "" {
-							continue
+						if name != "" {
+							names = append(names, name)
 						}
-						sup[suppressionKey{pos.Filename, pos.Line, name}] = true
-						sup[suppressionKey{pos.Filename, pos.Line + 1, name}] = true
 					}
+					if len(names) == 0 {
+						continue
+					}
+					dirs = append(dirs, Directive{
+						Position:  pkg.Fset.Position(c.Pos()),
+						Analyzers: names,
+						Reason:    strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+					})
 				}
 			}
+		}
+	}
+	return dirs
+}
+
+// suppressionIndex expands directives into the per-line lookup Analyze
+// consults.
+func suppressionIndex(dirs []Directive) map[suppressionKey]bool {
+	sup := make(map[suppressionKey]bool)
+	for _, d := range dirs {
+		for _, name := range d.Analyzers {
+			sup[suppressionKey{d.Position.Filename, d.Position.Line, name}] = true
+			sup[suppressionKey{d.Position.Filename, d.Position.Line + 1, name}] = true
 		}
 	}
 	return sup

@@ -63,6 +63,13 @@ func Load(dir string, patterns ...string) ([]*analysis.Package, error) {
 
 	var pkgs []*analysis.Package
 	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			// A package with only _test.go files (or with every file
+			// excluded by build tags) has nothing portlint analyzes; go
+			// list still reports it, so skip it rather than hand the type
+			// checker an empty file list.
+			continue
+		}
 		pkg, err := typeCheck(fset, imp, t)
 		if err != nil {
 			return nil, err

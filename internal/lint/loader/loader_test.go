@@ -1,0 +1,111 @@
+package loader_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"portsim/internal/lint/loader"
+)
+
+// writeModule lays out a scratch module from name -> content pairs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestBuildTagExcludedFiles loads a package where one file is excluded by a
+// build constraint; the loader must analyze only the included file and must
+// not stumble over symbols that exist only behind the tag.
+func TestBuildTagExcludedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"tagged/hidden.go": "//go:build someunusedtag\n\npackage tagged\n\n" +
+			"func Hidden() { onlyBehindTag() }\n",
+		"tagged/visible.go": "package tagged\n\nfunc Visible() int { return 1 }\n",
+	})
+	pkgs, err := loader.Load(dir, "./tagged")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("parsed %d files, want 1 (hidden.go is excluded by its build tag)", n)
+	}
+	if obj := pkgs[0].Types.Scope().Lookup("Visible"); obj == nil {
+		t.Error("Visible not in package scope")
+	}
+	if obj := pkgs[0].Types.Scope().Lookup("Hidden"); obj != nil {
+		t.Error("Hidden leaked into the package scope despite its build tag")
+	}
+}
+
+// TestTestOnlyPackageSkipped loads a directory holding only _test.go files;
+// portlint does not analyze test files, so the loader must skip the package
+// cleanly instead of type-checking an empty file list.
+func TestTestOnlyPackageSkipped(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":               "module scratch\n\ngo 1.22\n",
+		"onlytest/x_test.go":   "package onlytest\n",
+		"real/real.go":         "package real\n\nfunc F() {}\n",
+		"onlytest/placeholder": "",
+	})
+	pkgs, err := loader.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "scratch/real" {
+		t.Errorf("loaded %v, want only scratch/real (the _test.go-only package is skipped)", paths)
+	}
+}
+
+// TestTypeCheckFailureIsStructuredError loads a package that does not
+// compile; the loader must return an error naming the problem, not panic
+// and not return half-checked packages.
+func TestTypeCheckFailureIsStructuredError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":           "module scratch\n\ngo 1.22\n",
+		"broken/broken.go": "package broken\n\nfunc f() int { return undefinedName }\n",
+	})
+	pkgs, err := loader.Load(dir, "./broken")
+	if err == nil {
+		t.Fatalf("Load succeeded with %d packages, want an error", len(pkgs))
+	}
+	if pkgs != nil {
+		t.Errorf("Load returned packages alongside the error: %v", pkgs)
+	}
+	if !strings.Contains(err.Error(), "undefinedName") {
+		t.Errorf("error does not name the failing symbol: %v", err)
+	}
+}
+
+// TestNoMatchingPackages pins the structured error for a pattern that
+// matches nothing.
+func TestNoMatchingPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":   "module scratch\n\ngo 1.22\n",
+		"a/a.go":   "package a\n",
+		"a/ignore": "",
+	})
+	_, err := loader.Load(dir, "./nosuchdir")
+	if err == nil {
+		t.Fatal("Load of a non-existent pattern succeeded, want error")
+	}
+}

@@ -1,0 +1,310 @@
+// Package maporder implements the portlint analyzer that closes the last
+// structural nondeterminism hole detrand (wall clock, math/rand) does not
+// cover: Go's map iteration order is randomized per run, so a `range` over
+// a map whose loop body reaches an output sink makes tables, traces and
+// manifests differ run to run even with identical inputs.
+//
+// The analyzer flags a range over a map-typed expression when the loop body
+//
+//   - calls an output sink directly — fmt.Print*/Fprint*, an Encode method,
+//     or a Write/WriteString method with the io.Writer signature shape — or
+//   - calls an in-repo function that transitively reaches such a sink
+//     (computed as a fixed point over the module call graph), or
+//   - appends to a variable declared outside the loop that is not passed to
+//     a sort.* or slices.* call after the loop in the same function.
+//
+// The sanctioned pattern is collect → sort → emit: range the map into a
+// key slice, sort it, then iterate the slice. Ranges that only accumulate
+// order-independent values (sums, maxima, counts) are not flagged.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"portsim/internal/lint/analysis"
+	"portsim/internal/lint/callgraph"
+)
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range over maps whose body reaches an output sink (fmt.Fprint*, " +
+		"encoders, writers — directly or transitively) or appends to a slice that " +
+		"is never sorted afterwards; collect into a slice and sort it instead",
+	RunModule: runModule,
+}
+
+// fmtOutput is the set of package fmt functions that write to an output
+// stream (fmt.Sprint* builds a string and is judged by what happens to it).
+var fmtOutput = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runModule(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Pkgs)
+
+	// Fixed point: a function is emitting if its body contains a direct
+	// sink call, or it calls an emitting in-repo function.
+	emitting := make(map[*callgraph.Func]bool)
+	for _, fn := range g.Funcs() {
+		if hasDirectSink(fn.Pkg.TypesInfo, fn.Decl.Body) {
+			emitting[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs() {
+			if emitting[fn] {
+				continue
+			}
+			for _, call := range fn.Calls {
+				if callee := g.Lookup(call.Callee); callee != nil && emitting[callee] {
+					emitting[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fn := range g.Funcs() {
+		checkFunc(pass, g, emitting, fn)
+	}
+	return nil
+}
+
+// checkFunc flags the offending map ranges inside one function.
+func checkFunc(pass *analysis.ModulePass, g *callgraph.Graph, emitting map[*callgraph.Func]bool, fn *callgraph.Func) {
+	info := fn.Pkg.TypesInfo
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(info, rng.X) {
+			return true
+		}
+		mapStr := types.ExprString(rng.X)
+
+		// Direct or transitive sink inside the body: no sort can intervene.
+		sink := findSink(info, g, emitting, rng.Body)
+		if sink != "" {
+			pass.Reportf(rng.For, "range over map %s reaches an output sink (%s); map order is randomized per run — collect into a slice, sort, then emit", mapStr, sink)
+		}
+
+		// Appends into outer variables: flagged unless sorted after the loop.
+		for _, v := range outerAppendTargets(info, rng) {
+			if !sortedAfter(info, fn.Decl.Body, rng, v) {
+				pass.Reportf(rng.For, "range over map %s appends to %s in map order and %s is never sorted afterwards; sort it after the loop before it is emitted", mapStr, v.Name(), v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// hasDirectSink reports whether a body contains a direct output-sink call.
+func hasDirectSink(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := directSink(info, call); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// findSink returns a description of the first output sink the body reaches,
+// or "".
+func findSink(info *types.Info, g *callgraph.Graph, emitting map[*callgraph.Func]bool, body ast.Node) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := directSink(info, call); ok {
+			found = name
+			return false
+		}
+		if obj := calleeObj(info, call); obj != nil {
+			if callee := g.Lookup(obj); callee != nil && emitting[callee] {
+				found = callgraph.DisplayName(obj)
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// directSink reports whether a call writes to an output stream, returning a
+// human-readable name for the diagnostic.
+func directSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// fmt.Print* / fmt.Fprint*.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkg, ok := info.Uses[id].(*types.PkgName); ok {
+			if pkg.Imported().Path() == "fmt" && fmtOutput[sel.Sel.Name] {
+				return "fmt." + sel.Sel.Name, true
+			}
+			return "", false
+		}
+	}
+	// Encoder Encode methods and io.Writer-shaped Write/WriteString.
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	m, ok := s.Obj().(*types.Func)
+	if !ok {
+		return "", false
+	}
+	switch m.Name() {
+	case "Encode":
+		return callgraph.DisplayName(m), true
+	case "Write", "WriteString":
+		if sig, ok := m.Type().(*types.Signature); ok && writerShape(sig) {
+			return callgraph.DisplayName(m), true
+		}
+	}
+	return "", false
+}
+
+// writerShape matches func(...) (int, error) with one parameter, the
+// io.Writer Write/WriteString signature.
+func writerShape(sig *types.Signature) bool {
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	first, ok := sig.Results().At(0).Type().(*types.Basic)
+	if !ok || first.Kind() != types.Int {
+		return false
+	}
+	named, ok := sig.Results().At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// calleeObj resolves a call's callee to a function object, or nil.
+func calleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[f]; ok {
+			obj, _ := s.Obj().(*types.Func)
+			return obj
+		}
+		obj, _ := info.Uses[f.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// outerAppendTargets returns the distinct variables declared outside the
+// range statement that the loop body appends into, in first-append order.
+func outerAppendTargets(info *types.Info, rng *ast.RangeStmt) []*types.Var {
+	var vars []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			return true
+		}
+		if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+			return true
+		}
+		target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[target].(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		// Declared outside the range statement: its definition position is
+		// not within the statement's span.
+		if v.Pos() >= rng.Pos() && v.Pos() < rng.End() {
+			return true
+		}
+		seen[v] = true
+		vars = append(vars, v)
+		return true
+	})
+	return vars
+}
+
+// sortedAfter reports whether a sort.* or slices.* call referencing v
+// appears after the range statement in the enclosing body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, v *types.Var) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= rng.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkg.Imported().Path()
+		if path != "sort" && path != "slices" && !strings.HasSuffix(path, "/slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(info, arg, v) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// mentions reports whether the expression references v.
+func mentions(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapType reports whether the expression's type is a map.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

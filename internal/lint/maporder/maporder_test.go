@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"portsim/internal/lint/analysistest"
+	"portsim/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "a")
+}

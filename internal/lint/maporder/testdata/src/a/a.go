@@ -1,0 +1,72 @@
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// fixture for the maporder analyzer: direct sinks, transitive sinks through
+// a helper, unsorted appends, and the sanctioned collect-sort-emit pattern.
+
+func direct(m map[string]int) {
+	for k := range m { // want `range over map m reaches an output sink \(fmt\.Println\)`
+		fmt.Println(k)
+	}
+}
+
+func toWriter(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map m reaches an output sink \(fmt\.Fprintf\)`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func render(s string) { fmt.Println(s) }
+
+func transitive(m map[string]int) {
+	for k := range m { // want `range over map m reaches an output sink \(a\.render\)`
+		render(k)
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys in map order and keys is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-independent: not flagged
+		total += v
+	}
+	return total
+}
+
+func localAppend(m map[string]int) {
+	for k := range m {
+		line := []byte{}
+		line = append(line, k...) // target declared inside the loop: not flagged
+		_ = line
+	}
+}

@@ -111,7 +111,7 @@ func (f *mshrFile) full() bool { return f.limit > 0 && len(f.fills) >= f.limit }
 
 // add records a new outstanding fill.
 func (f *mshrFile) add(lineAddr, done uint64) {
-	f.fills = append(f.fills, mshrEntry{line: lineAddr, done: done})
+	f.fills = append(f.fills, mshrEntry{line: lineAddr, done: done}) //portlint:ignore hotpathclosure fills is preallocated to the MSHR limit and callers check full() first, so append never grows past its construction-time capacity
 }
 
 // AccessResult describes the outcome of a hierarchy access.
