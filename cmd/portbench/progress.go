@@ -59,13 +59,29 @@ type progressPrinter struct {
 	planned int
 	camp    *telemetry.Campaign
 
+	// clock and start let tests drive the rate and ETA math with a fake
+	// timeline; production uses time.Now.
+	clock func() time.Time
+	start time.Time
+
 	mu      sync.Mutex
 	last    time.Time
 	lastLen int
 }
 
+// Rich-mode display guards. A rate needs measurable elapsed time or the
+// division explodes into nonsense; an ETA needs a handful of actually
+// simulated (non-memo) cells before the per-cell average means anything.
+const (
+	rateMinElapsed = time.Millisecond
+	etaMinElapsed  = 100 * time.Millisecond
+	etaMinBasis    = 3
+)
+
 func newProgressPrinter(mode progressMode, w io.Writer, planned int, camp *telemetry.Campaign) *progressPrinter {
-	return &progressPrinter{mode: mode, w: w, planned: planned, camp: camp}
+	p := &progressPrinter{mode: mode, w: w, planned: planned, camp: camp, clock: time.Now}
+	p.start = p.clock()
+	return p
 }
 
 // cellDone reports one completed cell. Rich updates are throttled to ~10
@@ -89,7 +105,7 @@ func (p *progressPrinter) cellDone(s telemetry.CellSample) {
 			done, p.planned, s.Workload, s.Machine, status)
 		return
 	}
-	now := time.Now()
+	now := p.clock()
 	if done < p.planned && now.Sub(p.last) < 100*time.Millisecond {
 		return
 	}
@@ -97,15 +113,24 @@ func (p *progressPrinter) cellDone(s telemetry.CellSample) {
 	p.render(done)
 }
 
-// render draws the rich status line, padding over the previous one.
+// render draws the rich status line, padding over the previous one. The
+// throughput and ETA figures are based only on cells that were actually
+// simulated: memo hits complete in microseconds, and counting them as
+// full-cost cells used to both deflate the Mcycles/s denominator's
+// meaning and collapse the ETA toward zero whenever a campaign opened on
+// a run of memo hits.
 func (p *progressPrinter) render(done int) {
-	elapsed := p.camp.Elapsed().Seconds()
+	elapsed := p.clock().Sub(p.start)
 	line := fmt.Sprintf("portbench: %d/%d cells", done, p.planned)
-	if elapsed > 0 {
-		line += fmt.Sprintf(" | %.1f Mcycles/s", float64(p.camp.SimCycles())/elapsed/1e6)
+	if elapsed >= rateMinElapsed {
+		line += fmt.Sprintf(" | %.1f Mcycles/s", float64(p.camp.SimCycles())/elapsed.Seconds()/1e6)
 	}
-	if done > 0 && done < p.planned && elapsed > 0 {
-		eta := time.Duration(elapsed / float64(done) * float64(p.planned-done) * float64(time.Second))
+	simDone := done - p.camp.MemoHits()
+	if simDone >= etaMinBasis && done < p.planned && elapsed >= etaMinElapsed {
+		// Assume the remaining cells are all full-cost: a memo hit among
+		// them only makes the estimate finish early, never blow through.
+		perCell := elapsed.Seconds() / float64(simDone)
+		eta := time.Duration(perCell * float64(p.planned-done) * float64(time.Second))
 		line += fmt.Sprintf(" | ETA %s", eta.Round(time.Second))
 	}
 	pad := ""

@@ -18,7 +18,7 @@ func TestStoreBufferDrainDoesNotAllocate(t *testing.T) {
 		b.Insert(cycle, 0x1000, 8, nil)
 		for {
 			e := b.NextDrain()
-			if e == nil {
+			if e < 0 {
 				break
 			}
 			b.MarkIssued(e, cycle+2)

@@ -54,16 +54,19 @@ func FuzzStoreBufferInsert(f *testing.F) {
 					t.Fatal("Probe returned forward and conflict together")
 				}
 			case 3: // drain one entry, then expire completed drains
-				if e := b.NextDrain(); e != nil {
+				if e := b.NextDrain(); e >= 0 {
 					b.MarkIssued(e, now+2)
 				}
-				for _, e := range b.Expire(now) {
-					if !e.issued {
-						t.Fatal("Expire returned an un-issued entry")
-					}
-					if e.drainDone > now {
-						t.Fatalf("entry expired at cycle %d before its drain completed at %d", now, e.drainDone)
-					}
+				before := b.Len()
+				done := b.Expire(now)
+				if b.Len() != before-len(done) {
+					t.Fatalf("Expire removed %d entries but returned %d", before-b.Len(), len(done))
+				}
+				if uint64(len(done)) > b.Drains() {
+					t.Fatalf("expired %d entries with only %d drains issued", len(done), b.Drains())
+				}
+				if b.NextExpiry() <= now {
+					t.Fatalf("NextExpiry %d not past cycle %d after Expire", b.NextExpiry(), now)
 				}
 			}
 		}
@@ -79,12 +82,12 @@ func FuzzStoreBufferInsert(f *testing.F) {
 		// Drain everything: the buffer must be able to empty from any state.
 		for b.Len() > 0 {
 			now++
-			if e := b.NextDrain(); e != nil {
+			if e := b.NextDrain(); e >= 0 {
 				b.MarkIssued(e, now)
 			}
 			before := b.Len()
 			b.Expire(now)
-			if b.Len() >= before && b.NextDrain() == nil {
+			if b.Len() >= before && b.NextDrain() < 0 {
 				// Every remaining entry must be issued and waiting; one more
 				// cycle must expire at least one of them.
 				continue

@@ -18,23 +18,28 @@ package core
 // buffer holds the address of one aligned chunk of port-width bytes plus the
 // cycle at which its data became available. Replacement is true LRU.
 //
+// The per-buffer state is held as parallel arrays (struct-of-arrays) rather
+// than a slice of buffer structs: Lookup — the per-load hot path — scans
+// only the chunk addresses and validity bits, so the probe walks two dense
+// arrays instead of striding over four-field records it mostly ignores.
+//
 // Coherence: the set must be invalidated on (a) any store to a latched chunk
 // and (b) replacement of the underlying cache line; MemPort wires both. The
 // buffers therefore never supply stale data — a property checked by the
 // package tests against a functional cache.
 type LineBufferSet struct {
 	chunkBytes uint64
-	entries    []lineBuffer
-	clock      uint64
+
+	// Parallel per-buffer state; every slice has the same length (the
+	// buffer count) and index i describes buffer i.
+	chunkAddr []uint64
+	readyAt   []uint64
+	lru       []uint64
+	valid     []bool
+
+	clock uint64
 
 	hits, fills, invalidations, misses uint64
-}
-
-type lineBuffer struct {
-	chunkAddr uint64
-	readyAt   uint64
-	lru       uint64
-	valid     bool
 }
 
 // NewLineBufferSet returns a set of n load-all buffers for chunkBytes-wide
@@ -46,7 +51,10 @@ func NewLineBufferSet(n int, chunkBytes int) *LineBufferSet {
 	}
 	return &LineBufferSet{
 		chunkBytes: uint64(chunkBytes),
-		entries:    make([]lineBuffer, n),
+		chunkAddr:  make([]uint64, n),
+		readyAt:    make([]uint64, n),
+		lru:        make([]uint64, n),
+		valid:      make([]bool, n),
 	}
 }
 
@@ -58,15 +66,16 @@ func (s *LineBufferSet) ChunkAddr(addr uint64) uint64 { return addr &^ (s.chunkB
 // available; the caller takes max(now, readyAt) as the load's data-ready
 // time. Accesses are at most 8 bytes and naturally aligned, so they never
 // cross a chunk boundary.
+//
+//portlint:hotpath
 func (s *LineBufferSet) Lookup(addr uint64) (readyAt uint64, hit bool) {
 	chunk := s.ChunkAddr(addr)
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.chunkAddr == chunk {
+	for i := range s.chunkAddr {
+		if s.valid[i] && s.chunkAddr[i] == chunk {
 			s.clock++
-			e.lru = s.clock
+			s.lru[i] = s.clock
 			s.hits++
-			return e.readyAt, true
+			return s.readyAt[i], true
 		}
 	}
 	s.misses++
@@ -76,40 +85,45 @@ func (s *LineBufferSet) Lookup(addr uint64) (readyAt uint64, hit bool) {
 // Fill latches the chunk containing addr, with its data available at
 // readyAt, replacing the LRU buffer. Filling an already-latched chunk just
 // refreshes it. Fill is a no-op on a disabled set.
+//
+//portlint:hotpath
 func (s *LineBufferSet) Fill(addr, readyAt uint64) {
-	if len(s.entries) == 0 {
+	if len(s.chunkAddr) == 0 {
 		return
 	}
 	chunk := s.ChunkAddr(addr)
 	s.clock++
 	victim := 0
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.chunkAddr == chunk {
-			e.readyAt = readyAt
-			e.lru = s.clock
+	for i := range s.chunkAddr {
+		if s.valid[i] && s.chunkAddr[i] == chunk {
+			s.readyAt[i] = readyAt
+			s.lru[i] = s.clock
 			return
 		}
-		if !e.valid {
+		if !s.valid[i] {
 			victim = i
 			continue
 		}
-		if s.entries[victim].valid && e.lru < s.entries[victim].lru {
+		if s.valid[victim] && s.lru[i] < s.lru[victim] {
 			victim = i
 		}
 	}
-	s.entries[victim] = lineBuffer{chunkAddr: chunk, readyAt: readyAt, lru: s.clock, valid: true}
+	s.chunkAddr[victim] = chunk
+	s.readyAt[victim] = readyAt
+	s.lru[victim] = s.clock
+	s.valid[victim] = true
 	s.fills++
 }
 
 // InvalidateChunk drops the buffer latching the chunk that contains addr, if
 // any. Called for every store that enters the store buffer.
+//
+//portlint:hotpath
 func (s *LineBufferSet) InvalidateChunk(addr uint64) {
 	chunk := s.ChunkAddr(addr)
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.chunkAddr == chunk {
-			e.valid = false
+	for i := range s.chunkAddr {
+		if s.valid[i] && s.chunkAddr[i] == chunk {
+			s.valid[i] = false
 			s.invalidations++
 			return
 		}
@@ -118,12 +132,13 @@ func (s *LineBufferSet) InvalidateChunk(addr uint64) {
 
 // InvalidateLine drops every buffer whose chunk lies inside the cache line
 // [lineAddr, lineAddr+lineBytes). Called from the L1D eviction hook.
+//
+//portlint:hotpath
 func (s *LineBufferSet) InvalidateLine(lineAddr uint64, lineBytes int) {
 	end := lineAddr + uint64(lineBytes)
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.chunkAddr >= lineAddr && e.chunkAddr < end {
-			e.valid = false
+	for i := range s.chunkAddr {
+		if s.valid[i] && s.chunkAddr[i] >= lineAddr && s.chunkAddr[i] < end {
+			s.valid[i] = false
 			s.invalidations++
 		}
 	}
@@ -132,31 +147,50 @@ func (s *LineBufferSet) InvalidateLine(lineAddr uint64, lineBytes int) {
 // InvalidateAll empties the set (used at kernel entry in OS-disruption
 // experiments and by tests).
 func (s *LineBufferSet) InvalidateAll() {
-	for i := range s.entries {
-		if s.entries[i].valid {
-			s.entries[i].valid = false
+	for i := range s.valid {
+		if s.valid[i] {
+			s.valid[i] = false
 			s.invalidations++
 		}
 	}
+}
+
+// NextEvent reports the soonest cycle after now at which a pending fill's
+// data becomes available in some buffer, or NeverEvent when every latched
+// chunk is already readable. Line-buffer fills have no effect until a load
+// looks one up, so this only ever shortens a skip, never invalidates one.
+//
+//portlint:hotpath
+func (s *LineBufferSet) NextEvent(now uint64) uint64 {
+	next := NeverEvent
+	for i := range s.readyAt {
+		if s.valid[i] && s.readyAt[i] > now && s.readyAt[i] < next {
+			next = s.readyAt[i]
+		}
+	}
+	return next
 }
 
 // Reset empties the set and zeroes the statistics, restoring the
 // just-constructed state (unlike InvalidateAll, which counts the
 // invalidations as simulated events).
 func (s *LineBufferSet) Reset() {
-	clear(s.entries)
+	clear(s.chunkAddr)
+	clear(s.readyAt)
+	clear(s.lru)
+	clear(s.valid)
 	s.clock = 0
 	s.hits, s.fills, s.invalidations, s.misses = 0, 0, 0, 0
 }
 
 // Size returns the number of buffers.
-func (s *LineBufferSet) Size() int { return len(s.entries) }
+func (s *LineBufferSet) Size() int { return len(s.chunkAddr) }
 
 // Live returns the number of currently valid buffers.
 func (s *LineBufferSet) Live() int {
 	n := 0
-	for i := range s.entries {
-		if s.entries[i].valid {
+	for i := range s.valid {
+		if s.valid[i] {
 			n++
 		}
 	}

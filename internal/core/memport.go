@@ -407,11 +407,6 @@ func (p *MemPort) TryLoad(now, addr uint64, size int) LoadResult {
 	return LoadResult{Accepted: true, Ready: r.Ready, Source: SourceCache}
 }
 
-// combineHoldCycles is how long the combining store buffer holds an entry
-// open for further merging before it becomes eligible to drain even with a
-// lightly loaded buffer.
-const combineHoldCycles = 6
-
 // TryCommitStore offers a committing store to the store buffer at cycle
 // now. It returns false when the buffer cannot accept it, in which case the
 // core must stall commit and retry — the back-pressure path that makes
@@ -458,31 +453,30 @@ func (p *MemPort) drainStores(now uint64) {
 		return // injected fault: the drain path is wedged shut
 	}
 	for p.portFree() {
-		e := p.sb.NextDrain()
-		if e == nil {
+		i := p.sb.NextDrain()
+		if i < 0 {
 			return
 		}
-		if p.cfg.StoreCombining &&
-			p.sb.Len() <= p.cfg.StoreBufferEntries/4 &&
-			e.Age(now) < combineHoldCycles {
+		if p.sb.HoldActive(i, now) {
 			return
 		}
-		if ok, _ := p.claimSlot(e.ChunkAddr); !ok {
+		chunk := p.sb.ChunkAddrAt(i)
+		if ok, _ := p.claimSlot(chunk); !ok {
 			// Banked: this drain's bank is busy; a younger entry may
 			// target another bank, but draining out of order would
 			// complicate ordering for little gain — retry next cycle.
 			return
 		}
-		r := p.sys.DataAccess(now, e.ChunkAddr, true)
+		r := p.sys.DataAccess(now, chunk, true)
 		if !r.Accepted {
-			p.releaseSlot(e.ChunkAddr)
+			p.releaseSlot(chunk)
 			return // MSHRs exhausted; retry next cycle
 		}
 		p.storePortAccesses++
-		p.noteMiss(e.ChunkAddr, r)
-		p.sb.MarkIssued(e, r.Ready)
+		p.noteMiss(chunk, r)
+		p.sb.MarkIssued(i, r.Ready)
 		if p.rec != nil {
-			p.rec.Record(now, diag.EventDrain, e.seq, e.ChunkAddr)
+			p.rec.Record(now, diag.EventDrain, p.sb.SeqAt(i), chunk)
 		}
 	}
 }
@@ -563,14 +557,60 @@ func (p *MemPort) DrainAll(now uint64) uint64 {
 		p.BeginCycle(now)
 		p.EndCycle(now)
 		p.FinishCycle()
-		for i := range p.sb.entries {
-			if p.sb.entries[i].issued && p.sb.entries[i].drainDone > last {
-				last = p.sb.entries[i].drainDone
-			}
+		if d := p.sb.LatestDrainDone(); d > last {
+			last = d
 		}
 		now++
 	}
 	return last
+}
+
+// NextEvent reports the soonest cycle at or after now at which the port
+// subsystem acts on its own: refill debt or queued prefetches make every
+// cycle active; otherwise the candidates are an in-flight drain completing
+// (a buffer slot frees), the drain candidate becoming willing to compete for
+// a slot, a scheduled refill window arriving, and a line-buffer fill landing.
+// Values at or below now mean "do not skip"; see NextEventer.
+//
+//portlint:hotpath
+func (p *MemPort) NextEvent(now uint64) uint64 {
+	if p.refillDebt > 0 || p.pfCount > 0 {
+		return now
+	}
+	for _, d := range p.bankDebt {
+		if d > 0 {
+			return now
+		}
+	}
+	next := p.sb.NextExpiry()
+	if !p.cfg.FaultStuckDrain {
+		if t := p.sb.NextDrainEligible(now); t < next {
+			next = t
+		}
+	}
+	for i := range p.pendingRefills {
+		if p.pendingRefills[i].at < next {
+			next = p.pendingRefills[i].at
+		}
+	}
+	if t := p.lbs.NextEvent(now); t < next {
+		next = t
+	}
+	return next
+}
+
+// SkipCycles accounts for n consecutive inert cycles in one step. It must
+// leave the port statistics exactly as n idle BeginCycle/EndCycle/
+// FinishCycle rounds would have: the cycle counter advances, the grant
+// histogram records n zero-grant cycles, and the store buffer logs n
+// occupancy samples at its (unchanged) depth. The caller guarantees the
+// cycles are inert — NextEvent returned a cycle past the whole gap.
+//
+//portlint:hotpath
+func (p *MemPort) SkipCycles(n uint64) {
+	p.cycles += n
+	p.grantHist.ObserveN(0, n)
+	p.sb.SkipOccupancySamples(n)
 }
 
 // Report writes the port subsystem's statistics into a stats.Set under the

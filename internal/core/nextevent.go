@@ -1,0 +1,37 @@
+package core
+
+import "math"
+
+// NeverEvent is the NextEvent answer of a subsystem with nothing in flight:
+// no cycle before NeverEvent carries an autonomous state change.
+const NeverEvent uint64 = math.MaxUint64
+
+// NextEventer is the event-driven clock contract. A subsystem implementing
+// it promises: given the current cycle `now`, every cycle in the half-open
+// interval [now, NextEvent(now)) is inert from its perspective — the
+// subsystem neither changes observable state nor produces counters that
+// differ from an idle cycle's, so the caller may fast-forward the clock to
+// the returned cycle without stepping through the gap. Returning a value at
+// or below now means "this very cycle may be active; do not skip".
+// Returning NeverEvent means the subsystem never acts on its own.
+//
+// The invariant is one-sided: returning an EARLIER cycle than the true next
+// event is always safe (the caller merely wakes early and asks again), while
+// returning a later one silently corrupts the simulation. Implementations
+// therefore err toward conservatism: anything queued for "as soon as
+// possible" reports now, not now+1.
+//
+// Implemented by MemPort and LineBufferSet here, and by mem.System
+// structurally (mem cannot import core, so that assertion lives in
+// internal/cpu). StoreBuffer feeds MemPort's answer through its expiry and
+// drain-eligibility events rather than implementing the interface itself:
+// whether a drainable entry may act depends on port policy (the injected
+// drain wedge) the buffer cannot see.
+type NextEventer interface {
+	NextEvent(now uint64) uint64
+}
+
+var (
+	_ NextEventer = (*MemPort)(nil)
+	_ NextEventer = (*LineBufferSet)(nil)
+)

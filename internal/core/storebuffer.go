@@ -6,9 +6,17 @@ import "fmt"
 // carry fixed-size arrays to keep the simulator allocation-free.
 const maxChunkBytes = 64
 
-// SBEntry is one store-buffer entry: an aligned chunk with a byte mask of
-// the written bytes and, optionally, the written data (tests run the buffer
-// with data to prove byte-exactness; the timing simulator runs address-only).
+// combineHoldCycles is how long a young entry is held back from draining to
+// give later stores a chance to combine into it. Holding is only worthwhile
+// while the buffer has headroom; see MemPort.drainStores and HoldActive.
+const combineHoldCycles = 6
+
+// SBEntry is a materialized view of one store-buffer entry: an aligned chunk
+// with a byte mask of the written bytes and, optionally, the written data
+// (tests run the buffer with data to prove byte-exactness; the timing
+// simulator runs address-only). Expire returns entries in this form; while
+// an entry occupies the buffer it is addressed by index through the At
+// accessors instead.
 type SBEntry struct {
 	ChunkAddr uint64
 	// Mask has bit i set when byte i of the chunk has been written.
@@ -16,30 +24,45 @@ type SBEntry struct {
 	// Data holds the written bytes at their chunk offsets (valid where
 	// Mask is set) when the buffer runs in data-carrying mode.
 	Data [maxChunkBytes]byte
-	// issued marks that the entry's port write has been sent to the
-	// cache; it still occupies the buffer until drainDone.
-	issued bool
-	// drainDone is the cycle the entry's cache write completes (valid
-	// once issued).
-	drainDone uint64
-	// seq is the insertion sequence number, for age ordering.
-	seq uint64
-	// insertedAt is the cycle the entry was created, for the combining
-	// hold policy.
-	insertedAt uint64
 }
 
 // StoreBuffer is the decoupling buffer between commit and the cache port.
 // Entries are drained oldest-first; with combining enabled, at most one
 // entry exists per chunk and later stores to the chunk merge into it, so one
 // port write retires several program stores.
+//
+// Entry state lives in parallel arrays (struct-of-arrays), oldest first at
+// the low indices: the drain-ordering and probe scans touch only the one or
+// two fields they test, so the common walks (chunk address + issued flag)
+// stay in dense cache lines instead of striding over 90-byte records. The
+// 64-byte data images sit in their own array and are only touched by the
+// data-carrying test mode.
 type StoreBuffer struct {
 	chunkBytes uint64
 	capacity   int
 	combining  bool
-	entries    []SBEntry // ordered oldest first
-	expired    []SBEntry // scratch returned by Expire, reused across cycles
-	nextSeq    uint64
+
+	// Parallel per-entry state; index i < n describes occupying entry i.
+	// Slices are allocated at full capacity up front so Insert and the
+	// Expire compaction never grow anything.
+	chunkAddr  []uint64
+	mask       []uint64
+	seq        []uint64
+	insertedAt []uint64
+	drainDone  []uint64 // valid once issued
+	issued     []bool
+	data       [][maxChunkBytes]byte
+
+	n       int
+	nextSeq uint64
+
+	// nextExpiry caches the minimum drainDone over issued entries
+	// (NeverEvent when none are issued) so Expire can prove "nothing to
+	// remove" without walking the buffer, and so the event-driven clock
+	// can ask when the next completion lands.
+	nextExpiry uint64
+
+	expired []SBEntry // scratch returned by Expire, reused across cycles
 
 	inserts, combined, drains, forwards, conflicts uint64
 	occupancySamples, occupancySum                 uint64
@@ -59,17 +82,24 @@ func NewStoreBuffer(capacity, chunkBytes int, combining bool) *StoreBuffer {
 		chunkBytes: uint64(chunkBytes),
 		capacity:   capacity,
 		combining:  combining,
-		entries:    make([]SBEntry, 0, capacity),
-		expired:    make([]SBEntry, 0, capacity),
+		chunkAddr:  make([]uint64, capacity),
+		mask:       make([]uint64, capacity),
+		seq:        make([]uint64, capacity),
+		insertedAt: make([]uint64, capacity),
+		drainDone:  make([]uint64, capacity),
+		issued:     make([]bool, capacity),
+		data:       make([][maxChunkBytes]byte, capacity),
+		nextExpiry: NeverEvent,
+		expired:    make([]SBEntry, capacity),
 	}
 }
 
 // Reset empties the buffer and zeroes the statistics, restoring the
 // just-constructed state while keeping the entry storage.
 func (b *StoreBuffer) Reset() {
-	b.entries = b.entries[:0]
-	b.expired = b.expired[:0]
+	b.n = 0
 	b.nextSeq = 0
+	b.nextExpiry = NeverEvent
 	b.inserts, b.combined, b.drains, b.forwards, b.conflicts = 0, 0, 0, 0, 0
 	b.occupancySamples, b.occupancySum = 0, 0
 }
@@ -87,13 +117,13 @@ func maskFor(offset uint64, size int) uint64 {
 func (b *StoreBuffer) CanAccept(addr uint64, size int) bool {
 	if b.combining {
 		chunk := b.ChunkAddr(addr)
-		for i := range b.entries {
-			if b.entries[i].ChunkAddr == chunk && !b.entries[i].issued {
+		for i := 0; i < b.n; i++ {
+			if b.chunkAddr[i] == chunk && !b.issued[i] {
 				return true
 			}
 		}
 	}
-	return len(b.entries) < b.capacity
+	return b.n < b.capacity
 }
 
 // Insert adds a committed store to the buffer. data may be nil (timing-only
@@ -113,31 +143,32 @@ func (b *StoreBuffer) Insert(now, addr uint64, size int, data []byte) (combined 
 	mask := maskFor(offset, size)
 	b.inserts++
 	if b.combining {
-		for i := range b.entries {
-			e := &b.entries[i]
-			if e.ChunkAddr == chunk && !e.issued {
-				e.Mask |= mask
+		for i := 0; i < b.n; i++ {
+			if b.chunkAddr[i] == chunk && !b.issued[i] {
+				b.mask[i] |= mask
 				if data != nil {
-					copy(e.Data[offset:], data)
+					copy(b.data[i][offset:], data)
 				}
 				b.combined++
 				return true
 			}
 		}
 	}
-	if len(b.entries) >= b.capacity {
+	if b.n >= b.capacity {
 		panic("core: Insert on a full store buffer; call CanAccept first")
 	}
-	var e SBEntry
-	e.ChunkAddr = chunk
-	e.Mask = mask
-	e.insertedAt = now
-	e.seq = b.nextSeq
+	i := b.n
+	b.n++
+	b.chunkAddr[i] = chunk
+	b.mask[i] = mask
+	b.seq[i] = b.nextSeq
 	b.nextSeq++
+	b.insertedAt[i] = now
+	b.issued[i] = false
 	if data != nil {
-		copy(e.Data[offset:], data)
+		b.data[i] = [maxChunkBytes]byte{}
+		copy(b.data[i][offset:], data)
 	}
-	b.entries = append(b.entries, e) //portlint:ignore hotpathclosure entries has cap=capacity from construction and the full-buffer panic above keeps len below it, so append never grows
 	return false
 }
 
@@ -159,12 +190,11 @@ func (b *StoreBuffer) Probe(addr uint64, size int) (forward, conflict bool) {
 	offset := addr - chunk //portlint:ignore cyclemath chunk is addr with low bits masked off, so chunk <= addr
 	mask := maskFor(offset, size)
 	// Scan youngest-first so the newest matching entry decides.
-	for i := len(b.entries) - 1; i >= 0; i-- {
-		e := &b.entries[i]
-		if e.ChunkAddr != chunk || e.Mask&mask == 0 {
+	for i := b.n - 1; i >= 0; i-- {
+		if b.chunkAddr[i] != chunk || b.mask[i]&mask == 0 {
 			continue
 		}
-		if e.Mask&mask == mask {
+		if b.mask[i]&mask == mask {
 			b.forwards++
 			return true, false
 		}
@@ -182,57 +212,101 @@ func (b *StoreBuffer) ReadForward(addr uint64, p []byte) bool {
 	chunk := b.ChunkAddr(addr)
 	offset := addr - chunk //portlint:ignore cyclemath chunk is addr with low bits masked off, so chunk <= addr
 	mask := maskFor(offset, len(p))
-	for i := len(b.entries) - 1; i >= 0; i-- {
-		e := &b.entries[i]
-		if e.ChunkAddr == chunk && e.Mask&mask == mask {
-			copy(p, e.Data[offset:offset+uint64(len(p))])
+	for i := b.n - 1; i >= 0; i-- {
+		if b.chunkAddr[i] == chunk && b.mask[i]&mask == mask {
+			copy(p, b.data[i][offset:offset+uint64(len(p))])
 			return true
 		}
 	}
 	return false
 }
 
-// NextDrain returns the oldest un-issued entry whose chunk has no older
-// write still in flight, or nil when none is ready. The same-chunk guard
-// preserves per-location ordering: without it, a younger store that hits in
-// the cache could complete before an older store to the same chunk that
-// missed, leaving the older bytes as the final value. The returned pointer
-// is valid until the next mutation.
-func (b *StoreBuffer) NextDrain() *SBEntry {
-	for i := range b.entries {
-		e := &b.entries[i]
-		if e.issued {
+// NextDrain returns the index of the oldest un-issued entry whose chunk has
+// no older write still in flight, or -1 when none is ready. The same-chunk
+// guard preserves per-location ordering: without it, a younger store that
+// hits in the cache could complete before an older store to the same chunk
+// that missed, leaving the older bytes as the final value. The returned
+// index is valid until the next mutation.
+func (b *StoreBuffer) NextDrain() int {
+	for i := 0; i < b.n; i++ {
+		if b.issued[i] {
 			continue
 		}
 		blocked := false
 		for j := 0; j < i; j++ {
-			if b.entries[j].ChunkAddr == e.ChunkAddr {
+			if b.chunkAddr[j] == b.chunkAddr[i] {
 				blocked = true
 				break
 			}
 		}
 		if !blocked {
-			return e
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-// MarkIssued records that the entry's port write was sent at some cycle and
+// MarkIssued records that entry i's port write was sent at some cycle and
 // completes at done. The entry keeps occupying the buffer until Expire
 // removes it at or after done.
-func (b *StoreBuffer) MarkIssued(e *SBEntry, done uint64) {
-	e.issued = true
-	e.drainDone = done
+func (b *StoreBuffer) MarkIssued(i int, done uint64) {
+	b.issued[i] = true
+	b.drainDone[i] = done
+	if done < b.nextExpiry {
+		b.nextExpiry = done
+	}
 	b.drains++
 }
 
-// Age returns how many cycles the entry has been buffered.
-func (e *SBEntry) Age(now uint64) uint64 {
-	if now < e.insertedAt {
-		return 0
+// ChunkAddrAt, MaskAt and SeqAt expose occupying entry i's identity for the
+// port arbiter and its diagnostics.
+func (b *StoreBuffer) ChunkAddrAt(i int) uint64 { return b.chunkAddr[i] }
+func (b *StoreBuffer) MaskAt(i int) uint64      { return b.mask[i] }
+func (b *StoreBuffer) SeqAt(i int) uint64       { return b.seq[i] }
+
+// HoldActive reports whether the combining hold policy keeps entry i out of
+// drain arbitration at cycle now: with combining on and the buffer no more
+// than a quarter full, a young entry waits up to combineHoldCycles for later
+// stores to merge into it before competing for the port.
+func (b *StoreBuffer) HoldActive(i int, now uint64) bool {
+	if !b.combining || b.n > b.capacity/4 {
+		return false
 	}
-	return now - e.insertedAt
+	return now < b.insertedAt[i]+combineHoldCycles
+}
+
+// NextExpiry returns the cycle the earliest in-flight drain completes, or
+// NeverEvent when nothing is issued. Expiry frees a buffer slot (and, in
+// data-carrying mode, retires bytes to the cache), so it is a clock event.
+func (b *StoreBuffer) NextExpiry() uint64 { return b.nextExpiry }
+
+// NextDrainEligible returns the first cycle at or after now at which the
+// drain candidate (NextDrain) is willing to compete for a port slot:
+// now itself when one is ready, the end of its combining hold when the hold
+// policy is deferring it, or NeverEvent when nothing awaits drain. Whether
+// the port actually grants the slot that cycle is the arbiter's business.
+func (b *StoreBuffer) NextDrainEligible(now uint64) uint64 {
+	i := b.NextDrain()
+	if i < 0 {
+		return NeverEvent
+	}
+	if b.HoldActive(i, now) {
+		return b.insertedAt[i] + combineHoldCycles
+	}
+	return now
+}
+
+// LatestDrainDone returns the largest completion cycle over issued entries,
+// or 0 when none are in flight. End-of-run draining uses it to fast-forward
+// past every write already on its way to the cache.
+func (b *StoreBuffer) LatestDrainDone() uint64 {
+	var latest uint64
+	for i := 0; i < b.n; i++ {
+		if b.issued[i] && b.drainDone[i] > latest {
+			latest = b.drainDone[i]
+		}
+	}
+	return latest
 }
 
 // Expire removes issued entries whose cache writes have completed by cycle
@@ -242,29 +316,57 @@ func (e *SBEntry) Age(now uint64) uint64 {
 //
 //portlint:hotpath
 func (b *StoreBuffer) Expire(now uint64) []SBEntry {
-	done := b.expired[:0]
-	kept := b.entries[:0]
-	for i := range b.entries {
-		e := b.entries[i]
-		if e.issued && e.drainDone <= now {
-			done = append(done, e)
-		} else {
-			kept = append(kept, e)
-		}
+	if now < b.nextExpiry {
+		// No issued entry has completed yet; the buffer is untouched.
+		return b.expired[:0]
 	}
-	b.entries = kept
-	b.expired = done
-	return done
+	k := 0
+	w := 0
+	next := NeverEvent
+	for i := 0; i < b.n; i++ {
+		if b.issued[i] && b.drainDone[i] <= now {
+			out := &b.expired[k]
+			out.ChunkAddr = b.chunkAddr[i]
+			out.Mask = b.mask[i]
+			out.Data = b.data[i]
+			k++
+			continue
+		}
+		if b.issued[i] && b.drainDone[i] < next {
+			next = b.drainDone[i]
+		}
+		if w != i {
+			b.chunkAddr[w] = b.chunkAddr[i]
+			b.mask[w] = b.mask[i]
+			b.seq[w] = b.seq[i]
+			b.insertedAt[w] = b.insertedAt[i]
+			b.drainDone[w] = b.drainDone[i]
+			b.issued[w] = b.issued[i]
+			b.data[w] = b.data[i]
+		}
+		w++
+	}
+	b.n = w
+	b.nextExpiry = next
+	return b.expired[:k]
 }
 
 // SampleOccupancy records the current occupancy for the utilisation stats.
 func (b *StoreBuffer) SampleOccupancy() {
 	b.occupancySamples++
-	b.occupancySum += uint64(len(b.entries))
+	b.occupancySum += uint64(b.n)
+}
+
+// SkipOccupancySamples accounts for samples cycles of unchanged occupancy in
+// one step, so a fast-forwarded clock produces the same utilisation stats as
+// ticking through the gap.
+func (b *StoreBuffer) SkipOccupancySamples(samples uint64) {
+	b.occupancySamples += samples
+	b.occupancySum += uint64(b.n) * samples
 }
 
 // Len returns the number of occupying entries.
-func (b *StoreBuffer) Len() int { return len(b.entries) }
+func (b *StoreBuffer) Len() int { return b.n }
 
 // Cap returns the buffer capacity.
 func (b *StoreBuffer) Cap() int { return b.capacity }

@@ -30,17 +30,17 @@ func TestStoreBufferInsertAndDrainFIFO(t *testing.T) {
 	b := NewStoreBuffer(4, 32, false)
 	b.Insert(0, 0x100, 8, nil)
 	b.Insert(0, 0x200, 4, nil)
-	e := b.NextDrain()
-	if e == nil || e.ChunkAddr != 0x100 {
-		t.Fatalf("first drain = %+v, want chunk 0x100", e)
+	i := b.NextDrain()
+	if i < 0 || b.ChunkAddrAt(i) != 0x100 {
+		t.Fatalf("first drain = %d, want chunk 0x100", i)
 	}
-	b.MarkIssued(e, 10)
-	e = b.NextDrain()
-	if e == nil || e.ChunkAddr != 0x200 {
-		t.Fatalf("second drain = %+v, want chunk 0x200", e)
+	b.MarkIssued(i, 10)
+	i = b.NextDrain()
+	if i < 0 || b.ChunkAddrAt(i) != 0x200 {
+		t.Fatalf("second drain = %d, want chunk 0x200", i)
 	}
-	b.MarkIssued(e, 12)
-	if b.NextDrain() != nil {
+	b.MarkIssued(i, 12)
+	if b.NextDrain() >= 0 {
 		t.Error("drain offered with everything issued")
 	}
 	done := b.Expire(11)
@@ -85,11 +85,11 @@ func TestStoreBufferCombiningMergesChunk(t *testing.T) {
 	if b.Combined() != 1 || b.Inserts() != 2 {
 		t.Errorf("combined=%d inserts=%d", b.Combined(), b.Inserts())
 	}
-	e := b.NextDrain()
-	if e.Mask != 0xffff {
-		t.Errorf("mask = %#x, want 0xffff (bytes 0-15)", e.Mask)
+	i := b.NextDrain()
+	if b.MaskAt(i) != 0xffff {
+		t.Errorf("mask = %#x, want 0xffff (bytes 0-15)", b.MaskAt(i))
 	}
-	b.MarkIssued(e, 5)
+	b.MarkIssued(i, 5)
 	b.Expire(10)
 	if got := b.StoresPerDrain(); got != 2 {
 		t.Errorf("StoresPerDrain = %v, want 2", got)
@@ -107,8 +107,7 @@ func TestStoreBufferCombiningFullAlwaysAcceptsMatchingChunk(t *testing.T) {
 	}
 	// Once issued, the entry may no longer combine (its write is in
 	// flight); the chunk must be refused like any other.
-	e := b.NextDrain()
-	b.MarkIssued(e, 100)
+	b.MarkIssued(b.NextDrain(), 100)
 	if b.CanAccept(0x110, 4) {
 		t.Error("store combined into an issued entry")
 	}
@@ -161,22 +160,22 @@ func TestStoreBufferSameChunkDrainOrdering(t *testing.T) {
 	b.Insert(0, 0x200, 8, nil)
 	b.Insert(0, 0x100, 8, nil) // same chunk as first
 	e1 := b.NextDrain()
-	if e1.ChunkAddr != 0x100 {
-		t.Fatalf("first drain chunk %#x", e1.ChunkAddr)
+	if b.ChunkAddrAt(e1) != 0x100 {
+		t.Fatalf("first drain chunk %#x", b.ChunkAddrAt(e1))
 	}
 	b.MarkIssued(e1, 1000) // long miss in flight
 	e2 := b.NextDrain()
-	if e2 == nil || e2.ChunkAddr != 0x200 {
-		t.Fatalf("second drain = %+v, want chunk 0x200", e2)
+	if e2 < 0 || b.ChunkAddrAt(e2) != 0x200 {
+		t.Fatalf("second drain = %d, want chunk 0x200", e2)
 	}
 	b.MarkIssued(e2, 5)
 	// The younger 0x100 entry must be blocked while the older one is in
 	// flight, even though ports are free.
-	if e3 := b.NextDrain(); e3 != nil {
-		t.Errorf("same-chunk entry drained while older in flight: %+v", e3)
+	if e3 := b.NextDrain(); e3 >= 0 {
+		t.Errorf("same-chunk entry drained while older in flight: index %d", e3)
 	}
 	b.Expire(1001)
-	if e3 := b.NextDrain(); e3 == nil || e3.ChunkAddr != 0x100 {
+	if e3 := b.NextDrain(); e3 < 0 || b.ChunkAddrAt(e3) != 0x100 {
 		t.Error("blocked entry not released after older completed")
 	}
 }
@@ -218,7 +217,7 @@ func drainAllInto(b *StoreBuffer, m *flatmem.Mem, now uint64) uint64 {
 	for b.Len() > 0 {
 		for {
 			e := b.NextDrain()
-			if e == nil {
+			if e < 0 {
 				break
 			}
 			b.MarkIssued(e, now)
@@ -293,14 +292,14 @@ func TestStoreBufferByteExactness(t *testing.T) {
 			}
 			if !b.CanAccept(addr, size) {
 				e := b.NextDrain()
-				if e == nil {
+				if e < 0 {
 					now += 100
 					for _, d := range b.Expire(now) {
 						applyEntry(&d, got)
 					}
 					e = b.NextDrain()
 				}
-				if e != nil {
+				if e >= 0 {
 					b.MarkIssued(e, now+3)
 				}
 				if !b.CanAccept(addr, size) {
@@ -315,7 +314,7 @@ func TestStoreBufferByteExactness(t *testing.T) {
 				ref.WriteAt(addr, data)
 			}
 			if o.Drain {
-				if e := b.NextDrain(); e != nil {
+				if e := b.NextDrain(); e >= 0 {
 					b.MarkIssued(e, now+2)
 				}
 			}

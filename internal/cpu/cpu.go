@@ -58,6 +58,7 @@ type robEntry struct {
 
 	// Memory ordering (loads/stores only).
 	addrReadyAt uint64 // cycle the effective address is known
+	sqMark      uint64 // loads: store-ring tail at dispatch; older stores live in [sqHead, sqMark)
 
 	// dispatchedAt anchors address-generation timing for operand-free
 	// memory operations.
@@ -95,8 +96,16 @@ type Options struct {
 	// Recorder, when non-nil, receives cycle-stamped pipeline events
 	// (fetch, issue, port grants, store drains, commits, stalls) for
 	// failure forensics. A nil recorder costs one nil test per event
-	// site.
+	// site. Arming a recorder also disables cycle skipping (see NoSkip):
+	// the recorder's contract is one timeline entry per interesting cycle,
+	// and stepping every cycle is what keeps its stamps trivially honest.
 	Recorder *diag.Recorder
+	// NoSkip forces the run to step every cycle instead of fast-forwarding
+	// over provably inert stretches (the event-driven clock). Results are
+	// byte-identical either way — NoSkip exists as an escape hatch and as
+	// the reference timeline the equivalence tests and the CI table diff
+	// compare against.
+	NoSkip bool
 }
 
 // DefaultStallCycles is the watchdog threshold the experiment engine arms.
@@ -168,15 +177,43 @@ type Core struct {
 	committed uint64
 	maxInsts  uint64
 
-	// Issue/complete fast-path bookkeeping. issuedCount is the number of
-	// entries in stateIssued; neverStores counts issued stores whose
-	// completion time is still unknown (doneAt == never); nextDoneAt is a
-	// lower bound on the earliest completion among issued entries. complete
-	// skips its ROB scan entirely on cycles where these prove nothing can
-	// transition, which is the common case during long miss shadows.
-	issuedCount int
+	// Issue/complete fast-path bookkeeping. issList/issCount is the
+	// compact (unordered) list of ROB slice indices in stateIssued —
+	// complete()'s worklist, so its scan touches only entries that can
+	// transition instead of the whole ROB. neverStores counts issued
+	// stores whose completion time is still unknown (doneAt == never);
+	// nextDoneAt is a lower bound on the earliest completion among issued
+	// entries. complete skips its scan entirely on cycles where these
+	// prove nothing can transition, which is the common case during long
+	// miss shadows. Count-managed at full ROB capacity: no appends on the
+	// hot path.
+	issList     []int32
+	issCount    int
 	neverStores int
 	nextDoneAt  uint64
+
+	// dispList is the compact program-ordered list of ROB slice indices in
+	// stateDispatched (the issue window's worklist). dispatch appends,
+	// issue() compacts after its passes; entries never re-enter
+	// stateDispatched, so the list is exact. It turns issue's and the skip
+	// gate's per-cycle full-ROB scans into walks over only the entries
+	// that can actually start. Count-managed at full ROB capacity: no
+	// appends on the hot path.
+	dispList  []int32
+	dispCount int
+
+	// dispStores counts dispList entries that are stores, gating issue's
+	// second (address-only) pass to cycles where it can find work.
+	dispStores int
+
+	// Store-queue ring: the program-ordered ROB indices of every store
+	// between dispatch and commit. sqHead/sqTail are monotone positions
+	// (occupancy sqTail-sqHead == sqCount); the backing array is a power
+	// of two so position-to-slot is a mask. issueLoad's disambiguation
+	// scan walks [sqHead, load.sqMark) backward — exactly the older
+	// in-flight stores — instead of every older ROB entry.
+	sqRing         []int32
+	sqHead, sqTail uint64
 
 	// Physical register files: readyAt per register, free lists.
 	intReady, fpReady []uint64
@@ -224,6 +261,16 @@ type Core struct {
 	classCount                           [isa.NumClasses]uint64
 }
 
+// pow2AtLeast rounds n up to the next power of two so a ring position maps
+// to its slot with a mask instead of a modulo.
+func pow2AtLeast(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // New builds a core from a validated machine configuration and an
 // instruction stream.
 func New(cfg *config.Machine, stream trace.Stream) (*Core, error) {
@@ -248,6 +295,9 @@ func New(cfg *config.Machine, stream trace.Stream) (*Core, error) {
 		pred:         pred,
 		stream:       stream,
 		rob:          make([]robEntry, cfg.Core.ROBEntries),
+		dispList:     make([]int32, cfg.Core.ROBEntries),
+		issList:      make([]int32, cfg.Core.ROBEntries),
+		sqRing:       make([]int32, pow2AtLeast(cfg.Core.StoreQueueEntries)),
 		fetchBuf:     make([]fetchedInst, 4*cfg.Core.FetchWidth),
 		nextDoneAt:   never,
 		curFetchLine: ^uint64(0),
@@ -300,8 +350,11 @@ func (c *Core) Reset(stream trace.Stream) error {
 	clear(c.rob)
 	c.robHead, c.robCount = 0, 0
 	c.committed, c.maxInsts = 0, 0
-	c.issuedCount, c.neverStores = 0, 0
+	c.issCount, c.neverStores = 0, 0
 	c.nextDoneAt = never
+	c.dispCount = 0
+	c.dispStores = 0
+	c.sqHead, c.sqTail = 0, 0
 	clear(c.intReady)
 	clear(c.fpReady)
 	c.intFree = c.intFree[:0]
@@ -354,17 +407,31 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 var ErrDeadline = errors.New("cpu: deadline exceeded; possible pipeline deadlock")
 
 // ErrStall reports that the forward-progress watchdog fired: no instruction
-// committed for Options.StallCycles consecutive cycles.
+// committed for Options.StallCycles consecutive stepped events. The budget
+// is spent on step() invocations, not raw cycles, because the event-driven
+// clock legitimately jumps thousands of cycles in one step — a DRAM-gap
+// skip must not read as a wedge, and a wedge must not hide behind skipped
+// cycles. With skipping off the two notions coincide exactly.
 var ErrStall = errors.New("cpu: no forward progress")
 
 // Run simulates until the stream ends or opts.MaxInstructions commit, then
 // drains the pipeline and the store buffer, and returns the result.
+//
+// After every stepped cycle, unless skipping is disabled (opts.NoSkip, or a
+// recorder is armed), the loop asks nextEventCycle for the next cycle that
+// can do work and fast-forwards the clock to it; skipTo applies the batched
+// idle-cycle counters so the results are byte-identical to stepping. The
+// deadline stays cycle-denominated — a skip target is clamped to
+// DeadlineCycles+1 so the guard fires at the same cycle it would have under
+// stepping.
 func (c *Core) Run(opts Options) (*Result, error) {
 	c.maxInsts = opts.MaxInstructions
 	c.rec = opts.Recorder
 	c.port.SetRecorder(opts.Recorder)
+	skip := !opts.NoSkip && opts.Recorder == nil
 	lastProgress := c.cycle
 	lastCommitted := c.committed
+	steps := uint64(0) // stepped events since the last commit
 	for {
 		if c.drained() {
 			break
@@ -373,14 +440,25 @@ func (c *Core) Run(opts Options) (*Result, error) {
 			return nil, fmt.Errorf("%w (cycle %d, committed %d): %s",
 				ErrDeadline, c.cycle, c.committed, c.StallDiagnosis())
 		}
-		if opts.StallCycles > 0 && c.cycle > lastProgress && c.cycle-lastProgress > opts.StallCycles {
-			return nil, fmt.Errorf("%w (no commit since cycle %d; now cycle %d, committed %d): %s",
-				ErrStall, lastProgress, c.cycle, c.committed, c.StallDiagnosis())
+		if opts.StallCycles > 0 && steps > opts.StallCycles {
+			return nil, fmt.Errorf("%w (no commit since cycle %d; now cycle %d after %d stepped events, committed %d): %s",
+				ErrStall, lastProgress, c.cycle, steps, c.committed, c.StallDiagnosis())
 		}
 		c.step()
+		steps++
 		if c.committed != lastCommitted {
 			lastCommitted = c.committed
 			lastProgress = c.cycle
+			steps = 0
+		}
+		if skip && !c.drained() {
+			target := c.nextEventCycle()
+			if opts.DeadlineCycles > 0 && target > opts.DeadlineCycles+1 {
+				target = opts.DeadlineCycles + 1
+			}
+			if target > c.cycle {
+				c.skipTo(target)
+			}
 		}
 	}
 	// Account the final store-buffer drain.
@@ -600,6 +678,7 @@ func (c *Core) retire(e *robEntry) {
 		c.lqCount--
 	case isa.Store:
 		c.sqCount--
+		c.sqHead++ // in-order commit: the head store is the ring's oldest
 	}
 	if e.serialize && c.stallSeq == e.seq {
 		// Syscall: fetch resumes after the drain plus the redirect
@@ -630,20 +709,22 @@ func (c *Core) retire(e *robEntry) {
 //
 // The scan is skipped outright when the bookkeeping proves no entry can
 // transition this cycle: nothing is issued, or every issued entry has a
-// known completion time later than now. During a long miss shadow this
-// replaces a full ROB walk per cycle with two integer compares.
+// known completion time later than now. When it does run, it walks only
+// issList — the entries actually in stateIssued — and every transition it
+// performs is independent of the others (ready times are published at
+// issue, not completion), so the list's unordered visit is equivalent to
+// the ROB-ordered walk it replaces.
 //
 //portlint:hotpath
 func (c *Core) complete() {
-	if c.issuedCount == 0 || (c.neverStores == 0 && c.nextDoneAt > c.cycle) {
+	if c.issCount == 0 || (c.neverStores == 0 && c.nextDoneAt > c.cycle) {
 		return
 	}
 	next := uint64(never)
-	for off := 0; off < c.robCount; off++ {
-		e := &c.rob[c.robIndex(off)]
-		if e.state != stateIssued {
-			continue
-		}
+	w := 0
+	for k := 0; k < c.issCount; k++ {
+		idx := c.issList[k]
+		e := &c.rob[idx]
 		if e.doneAt == never && e.inst.Class == isa.Store {
 			if d := c.storeDoneAt(e); d != never {
 				e.doneAt = d
@@ -652,26 +733,32 @@ func (c *Core) complete() {
 		}
 		if e.doneAt <= c.cycle {
 			e.state = stateDone
-			c.issuedCount--
 			if e.mispredicted && c.stallSeq == e.seq && !e.serialize {
 				// Misprediction resolved: redirect fetch.
 				c.stallSeq = 0
 				c.fetchBlockedTil = e.doneAt + uint64(c.cfg.Core.MispredictPenalty)
 			}
-		} else if e.doneAt < next {
+			continue // promoted: leaves the worklist
+		}
+		if e.doneAt < next {
 			next = e.doneAt
 		}
+		c.issList[w] = idx
+		w++
 	}
+	c.issCount = w
 	c.nextDoneAt = next
 }
 
-// noteIssued records that an entry entered stateIssued with completion time
-// doneAt (possibly never, for an address-issued store awaiting its data
-// producer), keeping complete's skip bookkeeping exact.
+// noteIssued records that the entry at ROB slice index idx entered
+// stateIssued with completion time doneAt (possibly never, for an
+// address-issued store awaiting its data producer), keeping complete's
+// worklist and skip bookkeeping exact.
 //
 //portlint:hotpath
-func (c *Core) noteIssued(doneAt uint64) {
-	c.issuedCount++
+func (c *Core) noteIssued(idx int32, doneAt uint64) {
+	c.issList[c.issCount] = idx
+	c.issCount++
 	if doneAt == never {
 		c.neverStores++
 	} else if doneAt < c.nextDoneAt {

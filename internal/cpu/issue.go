@@ -19,34 +19,10 @@ func (c *Core) dispatch() {
 		}
 		f := c.fbFront()
 		in := &f.inst
-		// Queue-occupancy gating.
-		switch {
-		case in.Class == isa.Load:
-			if c.lqCount >= c.cfg.Core.LoadQueueEntries {
-				return
-			}
-		case in.Class == isa.Store:
-			if c.sqCount >= c.cfg.Core.StoreQueueEntries {
-				return
-			}
-		case in.Class.IsFPOp():
-			if c.fpQCount >= c.cfg.Core.FPIQEntries {
-				return
-			}
-		default:
-			if c.intQCount >= c.cfg.Core.IntIQEntries {
-				return
-			}
-		}
-		// Physical-register availability.
-		if in.Dest != isa.RegZero {
-			if in.Dest.IsFP() {
-				if len(c.fpFree) == 0 {
-					return
-				}
-			} else if len(c.intFree) == 0 {
-				return
-			}
+		// Queue-occupancy and physical-register gating, shared with the
+		// event-driven skip gate so the two can never disagree.
+		if !c.dispatchGatesOK(in) {
+			return
 		}
 
 		idx := c.robIndex(c.robCount)
@@ -70,8 +46,12 @@ func (c *Core) dispatch() {
 		switch {
 		case in.Class == isa.Load:
 			c.lqCount++
+			e.sqMark = c.sqTail
 		case in.Class == isa.Store:
 			c.sqCount++
+			c.sqRing[c.sqTail&uint64(len(c.sqRing)-1)] = int32(idx)
+			c.sqTail++
+			c.dispStores++
 		case in.Class.IsFPOp():
 			c.fpQCount++
 		case in.Class == isa.Nop || in.Class == isa.Syscall:
@@ -80,9 +60,13 @@ func (c *Core) dispatch() {
 			// stall it already owns.
 			e.state = stateIssued
 			e.doneAt = c.cycle + 1
-			c.noteIssued(e.doneAt)
+			c.noteIssued(int32(idx), e.doneAt)
 		default:
 			c.intQCount++
+		}
+		if e.state == stateDispatched {
+			c.dispList[c.dispCount] = int32(idx)
+			c.dispCount++
 		}
 		c.robCount++
 		c.fbPop()
@@ -165,19 +149,23 @@ type fuState struct {
 	fpMul  int
 }
 
-// issue scans the reorder buffer oldest-first and starts execution of every
-// dispatched instruction whose operands are available and whose functional
-// unit (or memory-port path) is free this cycle.
+// issue scans the dispatched-entry list oldest-first and starts execution
+// of every instruction whose operands are available and whose functional
+// unit (or memory-port path) is free this cycle. Iterating dispList instead
+// of the whole reorder buffer keeps the scan proportional to the number of
+// entries that could actually start — during miss shadows the ROB is full
+// of issued and done entries this loop would only step over.
 //
 //portlint:hotpath
 func (c *Core) issue() {
+	if c.dispCount == 0 {
+		return
+	}
 	var fu fuState
 	lat := &c.cfg.Lat
-	for off := 0; off < c.robCount && fu.issued < c.cfg.Core.IssueWidth; off++ {
-		e := &c.rob[c.robIndex(off)]
-		if e.state != stateDispatched {
-			continue
-		}
+	for k := 0; k < c.dispCount && fu.issued < c.cfg.Core.IssueWidth; k++ {
+		idx := c.dispList[k]
+		e := &c.rob[idx]
 		in := &e.inst
 		ready := c.operandsReadyAt(e)
 		if ready == never || ready > c.cycle {
@@ -189,13 +177,13 @@ func (c *Core) issue() {
 				continue
 			}
 			fu.intALU++
-			c.start(e, &fu, c.cycle+uint64(lat.IntALU))
+			c.start(e, idx, &fu, c.cycle+uint64(lat.IntALU))
 		case isa.IntMul:
 			if fu.intMul >= c.cfg.Core.IntMulDivs || c.cycle < c.intDivFreeAt {
 				continue
 			}
 			fu.intMul++
-			c.start(e, &fu, c.cycle+uint64(lat.IntMul))
+			c.start(e, idx, &fu, c.cycle+uint64(lat.IntMul))
 		case isa.IntDiv:
 			if fu.intMul >= c.cfg.Core.IntMulDivs || c.cycle < c.intDivFreeAt {
 				continue
@@ -203,19 +191,19 @@ func (c *Core) issue() {
 			fu.intMul++
 			done := c.cycle + uint64(lat.IntDiv)
 			c.intDivFreeAt = done // divider is unpipelined
-			c.start(e, &fu, done)
+			c.start(e, idx, &fu, done)
 		case isa.FPAdd:
 			if fu.fpAdd >= c.cfg.Core.FPAdders {
 				continue
 			}
 			fu.fpAdd++
-			c.start(e, &fu, c.cycle+uint64(lat.FPAdd))
+			c.start(e, idx, &fu, c.cycle+uint64(lat.FPAdd))
 		case isa.FPMul:
 			if fu.fpMul >= c.cfg.Core.FPMulDivs || c.cycle < c.fpDivFreeAt {
 				continue
 			}
 			fu.fpMul++
-			c.start(e, &fu, c.cycle+uint64(lat.FPMul))
+			c.start(e, idx, &fu, c.cycle+uint64(lat.FPMul))
 		case isa.FPDiv:
 			if fu.fpMul >= c.cfg.Core.FPMulDivs || c.cycle < c.fpDivFreeAt {
 				continue
@@ -223,42 +211,55 @@ func (c *Core) issue() {
 			fu.fpMul++
 			done := c.cycle + uint64(lat.FPDiv)
 			c.fpDivFreeAt = done
-			c.start(e, &fu, done)
+			c.start(e, idx, &fu, done)
 		case isa.Store:
 			// handled below: stores need only their ADDRESS operand
 			// to issue; data may arrive later.
 		case isa.Load:
-			c.issueLoad(e, off, &fu, ready)
+			c.issueLoad(e, idx, &fu, ready)
 		}
 	}
 	// Stores issue on address availability alone, so they are scheduled
-	// in a second pass that ignores the data operand's readiness. sqCount
-	// tracks stores resident in the ROB, so a zero count proves the pass
-	// would find nothing.
-	if c.sqCount == 0 {
-		return
-	}
-	for off := 0; off < c.robCount && fu.issued < c.cfg.Core.IssueWidth; off++ {
-		e := &c.rob[c.robIndex(off)]
-		if e.state != stateDispatched || e.inst.Class != isa.Store {
-			continue
+	// in a second pass that ignores the data operand's readiness.
+	// dispStores counts dispatched stores exactly, so a zero proves the
+	// pass would find nothing.
+	if c.dispStores > 0 {
+		for k := 0; k < c.dispCount && fu.issued < c.cfg.Core.IssueWidth; k++ {
+			idx := c.dispList[k]
+			e := &c.rob[idx]
+			if e.state != stateDispatched || e.inst.Class != isa.Store {
+				continue
+			}
+			addrReady := c.srcReadyAt(e.inst.Src1, e.src1Phys)
+			if addrReady == never || addrReady > c.cycle {
+				continue
+			}
+			c.issueStore(e, idx, &fu, addrReady)
 		}
-		addrReady := c.srcReadyAt(e.inst.Src1, e.src1Phys)
-		if addrReady == never || addrReady > c.cycle {
-			continue
-		}
-		c.issueStore(e, &fu, addrReady)
 	}
+	if fu.issued == 0 {
+		return // nothing left the worklist: compaction would be a no-op
+	}
+	// Compact: entries that issued this cycle leave the worklist. Order is
+	// preserved, so the list stays program-ordered.
+	w := 0
+	for k := 0; k < c.dispCount; k++ {
+		if c.rob[c.dispList[k]].state == stateDispatched {
+			c.dispList[w] = c.dispList[k]
+			w++
+		}
+	}
+	c.dispCount = w
 }
 
 // start transitions an entry to issued with the given completion time and
 // releases its issue-queue slot.
 //
 //portlint:hotpath
-func (c *Core) start(e *robEntry, fu *fuState, doneAt uint64) {
+func (c *Core) start(e *robEntry, idx int32, fu *fuState, doneAt uint64) {
 	e.state = stateIssued
 	e.doneAt = doneAt
-	c.noteIssued(doneAt)
+	c.noteIssued(idx, doneAt)
 	c.setDestReady(e, doneAt)
 	if c.rec != nil {
 		c.rec.Record(c.cycle, diag.EventIssue, e.seq, e.inst.Addr)
@@ -290,7 +291,7 @@ func agenDoneAt(e *robEntry, opsReady uint64, agen int) uint64 {
 // The store completes (becomes committable) only when its data is also
 // ready; complete() finalises that. The cache write itself happens after
 // commit, through the store buffer.
-func (c *Core) issueStore(e *robEntry, fu *fuState, addrOpReady uint64) {
+func (c *Core) issueStore(e *robEntry, idx int32, fu *fuState, addrOpReady uint64) {
 	if fu.memOps >= c.cfg.Core.MemIssuePerCycle {
 		return
 	}
@@ -302,7 +303,8 @@ func (c *Core) issueStore(e *robEntry, fu *fuState, addrOpReady uint64) {
 	e.addrReadyAt = c.cycle
 	e.state = stateIssued
 	e.doneAt = c.storeDoneAt(e)
-	c.noteIssued(e.doneAt)
+	c.dispStores--
+	c.noteIssued(idx, e.doneAt)
 	if c.cfg.Core.SpeculativeLoads {
 		c.checkMemOrder(e)
 	}
@@ -347,8 +349,10 @@ func (c *Core) checkMemOrder(store *robEntry) {
 			if redo := c.cycle + 1; e.doneAt < redo {
 				if e.state == stateDone {
 					// Re-issuing a completed load; complete's
-					// bookkeeping must see it again.
-					c.issuedCount++
+					// worklist must see it again. (A still-issued
+					// load is already listed.)
+					c.issList[c.issCount] = int32(c.robIndex(off))
+					c.issCount++
 				}
 				e.doneAt = redo
 				e.state = stateIssued
@@ -366,7 +370,7 @@ func (c *Core) checkMemOrder(store *robEntry) {
 // known, store-to-load forwarding or a memory-port access.
 //
 //portlint:hotpath
-func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
+func (c *Core) issueLoad(e *robEntry, idx int32, fu *fuState, opsReady uint64) {
 	if fu.memOps >= c.cfg.Core.MemIssuePerCycle {
 		return
 	}
@@ -378,15 +382,16 @@ func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
 	// every older store must have a known address before the load may
 	// proceed. With SpeculativeLoads, unknown-address stores are assumed
 	// non-conflicting; issueStore detects violations when they resolve.
-	// A zero sqCount proves there is no older store to disambiguate
-	// against, skipping the backward scan entirely.
+	// The scan walks the store-queue ring backward from the load's
+	// dispatch-time mark: exactly the older stores still in flight,
+	// youngest first — the same stores, in the same order, the full
+	// backward ROB walk used to visit.
 	var cover *robEntry // youngest older store fully covering the load
 	if c.sqCount > 0 {
-		for prev := off - 1; prev >= 0; prev-- {
-			s := &c.rob[c.robIndex(prev)]
-			if s.inst.Class != isa.Store {
-				continue
-			}
+		mask := uint64(len(c.sqRing) - 1)
+		for p := e.sqMark; p > c.sqHead; {
+			p--
+			s := &c.rob[c.sqRing[p&mask]]
 			if s.state == stateDispatched {
 				if c.cfg.Core.SpeculativeLoads {
 					continue // speculate past the unresolved store
@@ -411,7 +416,7 @@ func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
 			return // store data not yet available
 		}
 		fu.memOps++
-		c.start(e, fu, c.cycle+1)
+		c.start(e, idx, fu, c.cycle+1)
 		c.lsqForwards++
 		return
 	}
@@ -422,5 +427,5 @@ func (c *Core) issueLoad(e *robEntry, off int, fu *fuState, opsReady uint64) {
 	}
 	c.rec.Record(c.cycle, diag.EventGrant, e.seq, in.Addr)
 	fu.memOps++
-	c.start(e, fu, r.Ready)
+	c.start(e, idx, fu, r.Ready)
 }

@@ -1,0 +1,232 @@
+package cpu
+
+import (
+	"portsim/internal/core"
+	"portsim/internal/isa"
+	"portsim/internal/mem"
+)
+
+// The hierarchy implements the next-event contract structurally (mem cannot
+// import core); pin it here, where both packages are visible.
+var _ core.NextEventer = (*mem.System)(nil)
+
+// nextEventCycle returns the earliest cycle at or after c.cycle at which the
+// machine can do observable work. Returning c.cycle means "this cycle may be
+// active; do not skip". The one-sided NextEventer invariant applies: an
+// early answer costs a wasted wake-up, a late answer corrupts the
+// simulation, so every test below errs toward "active".
+//
+// A cycle is inert exactly when every stage of step() would reduce to its
+// idle-cycle form: fetch stalled (or out of work), dispatch blocked, no
+// issued entry completing, no dispatched entry able to start, the commit
+// head not retiring, and the port subsystem quiet. The per-cycle counters
+// those idle forms still bump (fetch-stall, ROB-full, commit-stall, port
+// cycle/grant/occupancy) are batched by skipTo, which is what keeps the
+// statistics byte-identical to stepped execution.
+//
+//portlint:hotpath
+func (c *Core) nextEventCycle() uint64 {
+	now := c.cycle
+	// Fetch. A stalled front end doing wrong-path pollution touches the
+	// I-cache every cycle; an unstalled one with buffer space and stream
+	// work fetches this cycle. Otherwise the only fetch event is the
+	// blocked-until cycle itself.
+	if c.stallSeq != 0 {
+		if !c.stallOnCommit && c.cfg.Core.WrongPathFetch && c.wrongPathPC != 0 {
+			return now
+		}
+	} else if now >= c.fetchBlockedTil {
+		if c.fbCount < len(c.fetchBuf) && !c.limitReached() && (c.havePending || !c.streamDone) {
+			return now
+		}
+	}
+	next := uint64(never)
+	if c.stallSeq == 0 && c.fetchBlockedTil > now {
+		next = c.fetchBlockedTil
+	}
+	// Dispatch: the front fetch-buffer entry clearing its gates makes the
+	// cycle active. (A full ROB is not an event by itself — the head's
+	// completion below bounds that wait.)
+	if c.fbCount > 0 && c.robCount < len(c.rob) && c.dispatchGatesOK(&c.fbFront().inst) {
+		return now
+	}
+	// Commit: a done head retires this cycle unless it is a store the
+	// buffer refuses — that wait ends with a port event (a drain
+	// completing frees the slot), not a commit event.
+	if c.robCount > 0 {
+		h := &c.rob[c.robHead]
+		if h.state == stateDone && h.doneAt <= now {
+			if h.inst.Class != isa.Store || c.port.StoreBuffer().CanAccept(h.inst.Addr, int(h.inst.Size)) {
+				return now
+			}
+		}
+	}
+	// Completions: nextDoneAt is the exact minimum completion time among
+	// issued entries (noteIssued and complete() maintain it). Address-
+	// issued stores whose completion is still unscheduled (doneAt ==
+	// never) need no candidate of their own: such a store's data producer
+	// is either still dispatched — its attemptAt below is the wake-up — or
+	// already issued, in which case the producer's own doneAt sits in
+	// nextDoneAt and the store is finalised by the complete() walk that
+	// runs at that wake-up (neverStores > 0 forces the walk), strictly
+	// before the store's eventual completion time. Either way the machine
+	// wakes no later than anything the store could do.
+	if c.issCount > 0 && c.nextDoneAt != never {
+		if c.nextDoneAt <= now {
+			return now
+		}
+		if c.nextDoneAt < next {
+			next = c.nextDoneAt
+		}
+	}
+	// Dispatched entries first attempt issue at attemptAt. A `never` means
+	// the entry waits on a producer that carries its own event.
+	for k := 0; k < c.dispCount; k++ {
+		t := c.attemptAt(&c.rob[c.dispList[k]])
+		if t == never {
+			continue
+		}
+		if t <= now {
+			return now
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if t := c.port.NextEvent(now); t <= now {
+		return now
+	} else if t < next {
+		next = t
+	}
+	if t := c.sys.NextEvent(now); t <= now {
+		return now
+	} else if t < next {
+		next = t
+	}
+	if next == never {
+		// Nothing scheduled anywhere. With work still in flight that is a
+		// wedge, not an idle machine: refuse to skip so ordinary stepping
+		// reaches the watchdog with an honest cycle count.
+		return now
+	}
+	return next
+}
+
+// attemptAt is the first cycle a dispatched entry could pass issue()'s
+// per-entry gates: operand readiness, address generation for memory ops, and
+// the unpipelined dividers. Per-cycle contention (issue width, ALU counts,
+// memory issue slots) is ignored — contention only arises on cycles where
+// something else issues, which are active cycles anyway. Returns never when
+// the entry waits on an unscheduled producer.
+//
+//portlint:hotpath
+func (c *Core) attemptAt(e *robEntry) uint64 {
+	in := &e.inst
+	switch in.Class {
+	case isa.Load:
+		ops := c.operandsReadyAt(e)
+		if ops == never {
+			return never
+		}
+		return agenDoneAt(e, ops, c.cfg.Lat.AGen)
+	case isa.Store:
+		// Stores issue on the address operand alone.
+		addr := c.srcReadyAt(in.Src1, e.src1Phys)
+		if addr == never {
+			return never
+		}
+		return agenDoneAt(e, addr, c.cfg.Lat.AGen)
+	case isa.IntMul, isa.IntDiv:
+		ops := c.operandsReadyAt(e)
+		if ops == never {
+			return never
+		}
+		if c.intDivFreeAt > ops {
+			ops = c.intDivFreeAt
+		}
+		return ops
+	case isa.FPMul, isa.FPDiv:
+		ops := c.operandsReadyAt(e)
+		if ops == never {
+			return never
+		}
+		if c.fpDivFreeAt > ops {
+			ops = c.fpDivFreeAt
+		}
+		return ops
+	default:
+		return c.operandsReadyAt(e)
+	}
+}
+
+// skipTo fast-forwards the clock from c.cycle to target, applying the
+// batched equivalent of the inert cycles in between: the same per-cycle
+// counters ordinary stepping would have bumped, with no other state change.
+// The caller guarantees every cycle in [c.cycle, target) is inert
+// (nextEventCycle returned target), which makes each batched condition
+// constant across the gap:
+//
+//   - fetch-stall: a stall owner only releases at a completion event, and a
+//     blocked-until fetch wakes exactly at fetchBlockedTil — both end gaps;
+//   - ROB-full: no commit frees a slot and no dispatch fills the buffer
+//     further during a gap;
+//   - commit-stall: the head store stays refused until a drain completes,
+//     which is a port event.
+//
+//portlint:hotpath
+func (c *Core) skipTo(target uint64) {
+	n := target - c.cycle //portlint:ignore cyclemath caller established target > c.cycle
+	if c.stallSeq != 0 || c.cycle < c.fetchBlockedTil {
+		c.fetchStallCycles += n
+	}
+	if c.fbCount > 0 && c.robCount == len(c.rob) {
+		c.robFullCycles += n
+	}
+	if c.robCount > 0 {
+		h := &c.rob[c.robHead]
+		if h.state == stateDone && h.doneAt <= c.cycle && h.inst.Class == isa.Store {
+			// nextEventCycle only lets a done head through when its
+			// commit is refused by the store buffer.
+			c.commitStallSB += n
+		}
+	}
+	c.port.SkipCycles(n)
+	c.cycle = target
+}
+
+// dispatchGatesOK reports whether an instruction at the front of the fetch
+// buffer clears dispatch's resource gates this cycle: issue-queue or
+// load/store-queue occupancy and destination-register availability. Shared
+// by dispatch() and the skip gate so the two can never disagree.
+//
+//portlint:hotpath
+func (c *Core) dispatchGatesOK(in *isa.Inst) bool {
+	switch {
+	case in.Class == isa.Load:
+		if c.lqCount >= c.cfg.Core.LoadQueueEntries {
+			return false
+		}
+	case in.Class == isa.Store:
+		if c.sqCount >= c.cfg.Core.StoreQueueEntries {
+			return false
+		}
+	case in.Class.IsFPOp():
+		if c.fpQCount >= c.cfg.Core.FPIQEntries {
+			return false
+		}
+	default:
+		if c.intQCount >= c.cfg.Core.IntIQEntries {
+			return false
+		}
+	}
+	if in.Dest != isa.RegZero {
+		if in.Dest.IsFP() {
+			if len(c.fpFree) == 0 {
+				return false
+			}
+		} else if len(c.intFree) == 0 {
+			return false
+		}
+	}
+	return true
+}

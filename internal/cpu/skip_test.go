@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"portsim/internal/config"
+	"portsim/internal/isa"
+	"portsim/internal/trace"
+	"portsim/internal/workload"
+)
+
+// runMode simulates one workload/preset cell with skipping on or off and
+// returns the result plus the core (for cycle inspection on error paths).
+func runMode(t *testing.T, m config.Machine, name string, opts Options) (*Result, *Core, error) {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	g, err := workload.New(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(&m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(opts)
+	return res, c, err
+}
+
+// TestSkipEquivalence pins the tentpole contract: event-driven cycle
+// skipping is an accounting identity, not an approximation. For a spread of
+// workload/preset cells the full Result — cycle count, instruction mix and
+// every detailed counter — must match a cycle-stepped run bit for bit.
+func TestSkipEquivalence(t *testing.T) {
+	cells := []struct{ workload, preset string }{
+		{"compress", "baseline"},
+		{"eqntott", "quad-port"},
+		{"mp3d", "banked-4"},
+	}
+	for _, cell := range cells {
+		t.Run(cell.workload+"/"+cell.preset, func(t *testing.T) {
+			m := config.Presets[cell.preset]()
+			opts := Options{MaxInstructions: 100_000, DeadlineCycles: 50_000_000}
+			skipped, _, err := runMode(t, m, cell.workload, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.NoSkip = true
+			stepped, _, err := runMode(t, m, cell.workload, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skipped.Cycles != stepped.Cycles {
+				t.Errorf("cycles diverge: skip=%d step=%d", skipped.Cycles, stepped.Cycles)
+			}
+			if skipped.Instructions != stepped.Instructions ||
+				skipped.UserInsts != stepped.UserInsts ||
+				skipped.KernelInsts != stepped.KernelInsts ||
+				skipped.Loads != stepped.Loads ||
+				skipped.Stores != stepped.Stores ||
+				skipped.Branches != stepped.Branches ||
+				skipped.Mispredicts != stepped.Mispredicts {
+				t.Errorf("instruction mix diverges:\nskip: %+v\nstep: %+v", skipped, stepped)
+			}
+			if skipped.IPC != stepped.IPC {
+				t.Errorf("IPC diverges: skip=%v step=%v", skipped.IPC, stepped.IPC)
+			}
+			if a, b := skipped.Counters.String(), stepped.Counters.String(); a != b {
+				t.Errorf("counters diverge:\nskip: %s\nstep: %s", a, b)
+			}
+		})
+	}
+}
+
+// coldLoadChain builds a serial chain of loads: each load's address operand
+// is the previous load's destination, and every address lands on a fresh
+// page 8KB further on, so each commit waits out a DTLB walk plus a full
+// memory-hierarchy miss (~60+ cycles) with nothing else to do.
+func coldLoadChain(n int) []isa.Inst {
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{
+			PC:    uint64(0x1000 + (i%8)*4),
+			Class: isa.Load,
+			Dest:  1,
+			Src1:  1,
+			Addr:  0x4000_0000 + uint64(i)*0x2000,
+			Size:  8,
+		}
+	}
+	return insts
+}
+
+// TestWatchdogCountsSteppedEvents pins the watchdog re-specification that
+// cycle skipping forced: Options.StallCycles counts stepped events without
+// a commit, not raw cycles. A serial cold-load chain opens >50-cycle commit
+// gaps; with a 40-event budget the cycle-stepped run must trip ErrStall
+// mid-gap (the pre-skip behaviour, preserved because stepping every cycle
+// makes events and cycles coincide), while the skipping run crosses each
+// gap in a handful of events and completes.
+func TestWatchdogCountsSteppedEvents(t *testing.T) {
+	m := config.Baseline()
+	insts := coldLoadChain(30)
+	opts := Options{StallCycles: 40, DeadlineCycles: 1_000_000, NoSkip: true}
+
+	c, err := New(&m, trace.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(opts); !errors.Is(err, ErrStall) {
+		t.Errorf("cycle-stepped run: err = %v, want ErrStall (each cold load stalls commit for >40 cycles)", err)
+	}
+
+	opts.NoSkip = false
+	c, err = New(&m, trace.NewSliceStream(insts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(opts)
+	if err != nil {
+		t.Errorf("skipping run: err = %v, want success (a skipped gap is one stepped event)", err)
+	} else if res.Instructions != uint64(len(insts)) {
+		t.Errorf("skipping run committed %d insts, want %d", res.Instructions, len(insts))
+	}
+
+	// With a budget that covers the gaps, both modes complete with
+	// identical timing — the watchdog never perturbs a healthy run.
+	opts.StallCycles = DefaultStallCycles
+	var cycles [2]uint64
+	for i, noSkip := range []bool{false, true} {
+		opts.NoSkip = noSkip
+		c, err := New(&m, trace.NewSliceStream(insts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(opts)
+		if err != nil {
+			t.Fatalf("noSkip=%v: %v", noSkip, err)
+		}
+		cycles[i] = res.Cycles
+	}
+	if cycles[0] != cycles[1] {
+		t.Errorf("healthy watchdog run diverges: skip=%d step=%d cycles", cycles[0], cycles[1])
+	}
+}
+
+// TestDeadlineIdenticalUnderSkip pins the deadline clamp: fast-forwarding
+// never jumps past DeadlineCycles+1, so a run that exceeds its budget dies
+// at exactly the same cycle whether or not it skipped to get there.
+func TestDeadlineIdenticalUnderSkip(t *testing.T) {
+	m := config.Baseline()
+	opts := Options{DeadlineCycles: 5_000}
+	_, cSkip, err := runMode(t, m, "compress", opts)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("skip run: err = %v, want ErrDeadline", err)
+	}
+	opts.NoSkip = true
+	_, cStep, err := runMode(t, m, "compress", opts)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("stepped run: err = %v, want ErrDeadline", err)
+	}
+	if cSkip.Cycle() != cStep.Cycle() {
+		t.Errorf("deadline fires at different cycles: skip=%d step=%d", cSkip.Cycle(), cStep.Cycle())
+	}
+}

@@ -73,3 +73,76 @@ func TestPoolSkipsFaultArmedCells(t *testing.T) {
 		t.Fatalf("healthy cell should have built (and pooled) one core, misses=%d", misses)
 	}
 }
+
+// TestFaultArmedCellsIsolatedFromUnarmed is the -inject isolation
+// regression: a fault-armed cell shares its base machine configuration with
+// unarmed cells, and the only things keeping the poison contained are (a)
+// the memo key carrying the workload name, computed before arming mutates
+// the config, and (b) the pool refusing armed cells entirely. If either
+// gate regressed, the wedge failure below would be served to — or a wedged
+// core handed to — the healthy cell.
+func TestFaultArmedCellsIsolatedFromUnarmed(t *testing.T) {
+	spec := QuickSpec()
+	spec.Parallel = 1
+	armedW, cleanW := spec.Workloads[0], spec.Workloads[1]
+	spec.Fault = &Fault{Mode: FaultWedge, Workload: armedW}
+	r := NewRunner(spec)
+	var events []CellEvent
+	r.SetCellObserver(func(ev CellEvent) { events = append(events, ev) }, nil)
+	m := config.Baseline()
+
+	// Healthy cell first: simulates and pools one core for this config.
+	cleanRes, err := r.Run(m, cleanW)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Armed cell on the SAME base config: must fail (stuck drain trips
+	// the watchdog) and must not draw the pooled healthy core.
+	if _, err := r.Run(m, armedW); err == nil {
+		t.Fatal("wedge-armed cell unexpectedly succeeded")
+	}
+	if hits, _ := r.PoolStats(); hits != 0 {
+		t.Fatalf("armed cell reused a pooled core (hits=%d); wedge mutation would leak", hits)
+	}
+
+	// Re-running both cells must memo-join their own prior outcome, never
+	// cross: the armed key differs from the clean key by workload name
+	// even though the base config JSON is identical.
+	if _, err := r.Run(m, armedW); err == nil {
+		t.Fatal("armed rerun lost its memoised failure")
+	}
+	again, err := r.Run(m, cleanW)
+	if err != nil {
+		t.Fatalf("clean rerun poisoned by armed cell: %v", err)
+	}
+	if again != cleanRes {
+		t.Fatal("clean rerun did not memo-join its own result")
+	}
+	for _, ev := range events[2:] {
+		if !ev.MemoHit {
+			t.Fatalf("rerun of %s re-simulated instead of memo-joining", ev.Workload)
+		}
+	}
+	for _, ev := range events {
+		if ev.Workload == armedW && ev.Err == nil {
+			t.Fatalf("armed cell %s reported success", armedW)
+		}
+		if ev.Workload == cleanW && ev.Err != nil {
+			t.Fatalf("clean cell %s reported failure: %v", cleanW, ev.Err)
+		}
+	}
+
+	// The healthy result must be bit-identical to a fault-free runner's:
+	// arming one workload may not perturb any other cell.
+	ref := NewRunner(QuickSpec())
+	want, err := ref.Run(m, cleanW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanRes.Cycles != want.Cycles || cleanRes.Instructions != want.Instructions ||
+		cleanRes.Counters.String() != want.Counters.String() {
+		t.Fatalf("clean cell perturbed by fault arming: got %d cycles / %d insts, want %d / %d",
+			cleanRes.Cycles, cleanRes.Instructions, want.Cycles, want.Instructions)
+	}
+}

@@ -43,6 +43,11 @@ type Spec struct {
 	// Perfetto trace (portbench -trace-out). All other cells run exactly
 	// as without it, so tables stay byte-identical.
 	Trace *TraceSpec
+	// NoSkip steps every simulated cycle instead of letting the core
+	// fast-forward over inert stretches (cpu.Options.NoSkip). Skipping is
+	// table-neutral by construction; this escape hatch exists for the CI
+	// byte-identity diff and for timing forensics.
+	NoSkip bool
 }
 
 // TraceSpec names the one cell whose pipeline events a campaign captures.
@@ -498,6 +503,7 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 		DeadlineCycles:  cpu.DeadlineFor(r.spec.Insts),
 		StallCycles:     cpu.DefaultStallCycles,
 		Recorder:        rec,
+		NoSkip:          r.spec.NoSkip,
 	})
 	if err != nil {
 		// The failed core is dropped, not pooled: its state is part of

@@ -1,0 +1,58 @@
+package mem
+
+// neverEvent mirrors core.NeverEvent: the NextEvent answer when nothing is
+// in flight. mem sits below internal/core in the import graph, so the
+// constant is restated here; the interface assertion tying System to the
+// core contract lives in internal/cpu, which imports both.
+const neverEvent = ^uint64(0)
+
+// nextEvent returns the soonest fill-completion cycle strictly after now, or
+// neverEvent when the file is empty or fully expired. A completing fill
+// frees an MSHR slot (un-refusing accesses rejected for MSHR pressure) and
+// lets merged requesters proceed, so it bounds how far the clock may skip.
+//
+//portlint:hotpath
+func (f *mshrFile) nextEvent(now uint64) uint64 {
+	next := neverEvent
+	for i := range f.fills {
+		if f.fills[i].done > now && f.fills[i].done < next {
+			next = f.fills[i].done
+		}
+	}
+	return next
+}
+
+// NextEvent reports when the DRAM channel frees up, or neverEvent when it is
+// already idle. Channel occupancy only shapes the timing of accesses issued
+// while it is busy, so this is purely a conservative wake-up: skipping past
+// nextFree would also be sound, but reporting it keeps the contract uniform.
+//
+//portlint:hotpath
+func (d *DRAM) NextEvent(now uint64) uint64 {
+	if d.nextFree > now {
+		return d.nextFree
+	}
+	return neverEvent
+}
+
+// NextEvent reports the soonest autonomous state change in the hierarchy at
+// or after now: the earliest outstanding MSHR fill at any level completing,
+// or the DRAM channel freeing. The TLBs hold no timed state (miss penalties
+// are charged inline at access time), so they contribute no events.
+// Structurally implements core.NextEventer; see that interface for the
+// one-sided "no event sooner than returned" invariant.
+//
+//portlint:hotpath
+func (s *System) NextEvent(now uint64) uint64 {
+	next := s.l1iMSHR.nextEvent(now)
+	if t := s.l1dMSHR.nextEvent(now); t < next {
+		next = t
+	}
+	if t := s.l2MSHR.nextEvent(now); t < next {
+		next = t
+	}
+	if t := s.dram.NextEvent(now); t < next {
+		next = t
+	}
+	return next
+}

@@ -55,13 +55,10 @@ func SafeRatio(num, den float64) float64 {
 	return num / den
 }
 
-// Ratio returns num/den as a float, or 0 when den is zero.
+// Ratio returns num/den as a float, with SafeRatio's no-events rule: 0 when
+// the denominator counter never fired.
 func (s *Set) Ratio(num, den string) float64 {
-	d := s.counters[den]
-	if d == 0 {
-		return 0
-	}
-	return float64(s.counters[num]) / float64(d)
+	return SafeRatio(float64(s.counters[num]), float64(s.counters[den]))
 }
 
 // Merge adds every counter of other into s.
@@ -115,6 +112,25 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.count++
 	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// ObserveN records n identical samples of value v in one step, exactly as n
+// Observe(v) calls would. The event-driven clock uses it to log a whole
+// skipped gap of zero-grant cycles without ticking through them.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < uint64(len(h.buckets)) {
+		h.buckets[v] += n
+	} else {
+		h.overflow += n
+	}
+	h.count += n
+	h.sum += v * n
 	if v > h.max {
 		h.max = v
 	}

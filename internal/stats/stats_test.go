@@ -39,6 +39,23 @@ func TestSetRatio(t *testing.T) {
 	}
 }
 
+// TestSetRatioZeroDenominator pins Ratio to SafeRatio's no-events rule for
+// a denominator counter that exists but never fired — the case a cell with
+// zero port accesses produces. The result must be exactly zero, never NaN
+// or Inf leaking into a report table.
+func TestSetRatioZeroDenominator(t *testing.T) {
+	s := NewSet()
+	s.Add("rejects", 7)
+	s.Add("accesses", 0)
+	got := s.Ratio("rejects", "accesses")
+	if got != 0 {
+		t.Errorf("Ratio(7, explicit 0) = %v, want 0", got)
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("Ratio(7, explicit 0) = %v; must be finite", got)
+	}
+}
+
 func TestSetMerge(t *testing.T) {
 	a, b := NewSet(), NewSet()
 	a.Add("x", 1)
@@ -91,6 +108,38 @@ func TestHistogram(t *testing.T) {
 	}
 	if got := h.Fraction(1); math.Abs(got-2.0/6.0) > 1e-12 {
 		t.Errorf("Fraction(1) = %v, want 1/3", got)
+	}
+}
+
+// TestHistogramObserveN checks that a batched observation is
+// indistinguishable from the equivalent run of single observations — the
+// property skipTo relies on when it logs a whole inert gap of zero-grant
+// cycles in one call — and that n=0 is a strict no-op.
+func TestHistogramObserveN(t *testing.T) {
+	batched := NewHistogram(4)
+	single := NewHistogram(4)
+	for _, c := range []struct{ v, n uint64 }{{0, 1000}, {2, 3}, {9, 5}, {3, 0}} {
+		batched.ObserveN(c.v, c.n)
+		for i := uint64(0); i < c.n; i++ {
+			single.Observe(c.v)
+		}
+	}
+	if batched.Count() != single.Count() || batched.Sum() != single.Sum() || batched.Max() != single.Max() {
+		t.Errorf("ObserveN summary (count=%d sum=%d max=%d) diverges from Observe loop (count=%d sum=%d max=%d)",
+			batched.Count(), batched.Sum(), batched.Max(), single.Count(), single.Sum(), single.Max())
+	}
+	for b := uint64(0); b < 4; b++ {
+		if batched.Bucket(b) != single.Bucket(b) {
+			t.Errorf("bucket %d: ObserveN %d, Observe loop %d", b, batched.Bucket(b), single.Bucket(b))
+		}
+	}
+	if batched.Overflow() != single.Overflow() {
+		t.Errorf("overflow: ObserveN %d, Observe loop %d", batched.Overflow(), single.Overflow())
+	}
+	empty := NewHistogram(4)
+	empty.ObserveN(2, 0)
+	if empty.Count() != 0 || empty.Max() != 0 {
+		t.Errorf("ObserveN(v, 0) mutated the histogram: count=%d max=%d", empty.Count(), empty.Max())
 	}
 }
 

@@ -161,6 +161,13 @@ func (c *Campaign) CellDone(s CellSample) {
 // Done returns the number of cells completed so far.
 func (c *Campaign) Done() int { return int(c.cellsDone.Value()) }
 
+// MemoHits returns how many completed cells were satisfied from the
+// result memo instead of being simulated. Throughput and ETA estimates
+// must exclude them: a memo hit completes in microseconds, so folding it
+// into a per-cell rate makes the remaining full-cost cells look nearly
+// free.
+func (c *Campaign) MemoHits() int { return int(c.memoHits.Value()) }
+
 // SimCycles returns the simulated-cycle total so far.
 func (c *Campaign) SimCycles() uint64 { return c.simCycles.Value() }
 
