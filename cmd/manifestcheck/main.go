@@ -57,9 +57,24 @@ func summarise(out io.Writer, path string, m *telemetry.Manifest) {
 	fmt.Fprintf(out, "  created %s by %s (%s/%s)\n", m.CreatedAt, m.GoVersion, m.GOOS, m.GOARCH)
 	fmt.Fprintf(out, "  campaign %s: seed %d, %d insts, %d workloads, %d experiments, parallel %d\n",
 		m.ConfigHash, m.Seed, m.Insts, len(m.Workloads), len(m.Experiments), m.Parallel)
-	fmt.Fprintf(out, "  cells %d (%d simulated, %d memo hits, %d failed); %d cycles / %d insts in %.2fs\n",
-		m.Totals.Cells, m.Totals.Cells-m.Totals.MemoHits-m.Totals.Failed, m.Totals.MemoHits,
+	fmt.Fprintf(out, "  cells %d (%d simulated, %d memo hits, %d store hits, %d failed); %d cycles / %d insts in %.2fs\n",
+		m.Totals.Cells, m.Totals.Cells-m.Totals.MemoHits-m.Totals.StoreHits-m.Totals.Failed,
+		m.Totals.MemoHits, m.Totals.StoreHits,
 		m.Totals.Failed, m.Totals.SimCycles, m.Totals.SimInsts, m.Totals.WallSeconds)
+	if s := m.Store; s != nil {
+		fmt.Fprintf(out, "  store %s: %d restored, %d simulated, %d written, %d quarantined",
+			s.Dir, s.Hits, s.Misses, s.Puts, s.Quarantined)
+		if s.Resumed {
+			fmt.Fprint(out, " (resumed)")
+		}
+		if s.Fault != "" {
+			fmt.Fprintf(out, " (fault %s)", s.Fault)
+		}
+		if s.Degraded {
+			fmt.Fprint(out, " (degraded)")
+		}
+		fmt.Fprintln(out)
+	}
 	for _, c := range m.Cells {
 		if c.Outcome == telemetry.OutcomeFailed {
 			fmt.Fprintf(out, "  FAILED %s @ %s: %s\n", c.Workload, c.Machine, c.Error)

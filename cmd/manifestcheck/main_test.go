@@ -61,7 +61,7 @@ func TestValidManifestSummarised(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"valid portsim-manifest/v1",
-		"cells 2 (1 simulated, 0 memo hits, 1 failed)",
+		"cells 2 (1 simulated, 0 memo hits, 0 store hits, 1 failed)",
 		"FAILED compress @ 2-port: experiments: deadline exceeded",
 		"repro bundle: portbench-repro-2-port-compress.json",
 	} {

@@ -7,6 +7,7 @@
 //	portbench [-quick] [-insts n] [-seed n] [-only T1,F6,...] [-csv]
 //	          [-parallel n] [-progress[=rich|plain]] [-flightrec]
 //	          [-inject mode:workload[:after]] [-repro-dir dir]
+//	          [-store dir] [-resume] [-inject-store mode[:rate]]
 //	          [-listen addr] [-manifest path] [-hold d]
 //	          [-trace-out path] [-trace-cell workload@machine] [-trace-depth n]
 //	portbench -repro bundle.json
@@ -21,6 +22,16 @@
 // machine configuration, stack and flight-recorder tail, and a JSON repro
 // bundle is written next to the run (-repro-dir); `portbench -repro` replays
 // a bundle deterministically with the flight recorder armed.
+//
+// Durable campaigns (-store, see EXPERIMENTS.md "Durable campaigns"):
+// every finished cell — result or deterministic failure — is written
+// crash-safely to a content-addressed store, so a killed campaign rerun
+// with the same -store restores its finished cells instead of
+// re-simulating them. Tables are byte-identical with the store on, off,
+// cold or warm; corrupt entries are quarantined (*.corrupt) and
+// re-simulated, and a broken store degrades to store-less operation
+// rather than failing the run. -inject-store drives those paths on
+// purpose for robustness testing.
 //
 // Observability (all opt-in, see README.md "Observability"): -listen
 // serves live campaign metrics over HTTP (/metrics Prometheus text,
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"portsim/internal/benchfmt"
+	"portsim/internal/cellstore"
 	"portsim/internal/diag"
 	"portsim/internal/experiments"
 	"portsim/internal/stats"
@@ -68,6 +80,10 @@ func run(args []string, out io.Writer) error {
 		inject    = fs.String("inject", "", "poison one workload's cells: mode:workload[:after] with mode panic|badinst|wedge")
 		repro     = fs.String("repro", "", "replay a repro bundle file instead of running the suite")
 		reproDir  = fs.String("repro-dir", ".", "directory for repro bundles written on cell failure")
+
+		storeDir    = fs.String("store", "", "durable cell store directory: finished cells are written crash-safely and restored by later runs")
+		resume      = fs.Bool("resume", false, "resume a previous campaign from -store (the store directory must already exist)")
+		injectStore = fs.String("inject-store", "", "inject store failures: mode[:rate] with mode torn|corrupt|ioerr, rate in (0,1]")
 
 		listen     = fs.String("listen", "", "serve live campaign metrics over HTTP on this address (/metrics, /vars, /healthz)")
 		manifest   = fs.String("manifest", "", "write a portsim-manifest/v1 run manifest (JSON) to this path")
@@ -107,6 +123,40 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		spec.Fault = fault
+	}
+	var store *cellstore.Store
+	var storeFault *cellstore.Fault
+	if *storeDir == "" {
+		if *resume {
+			return fmt.Errorf("-resume needs -store")
+		}
+		if *injectStore != "" {
+			return fmt.Errorf("-inject-store needs -store")
+		}
+	} else {
+		if *injectStore != "" {
+			f, err := cellstore.ParseFault(*injectStore)
+			if err != nil {
+				return err
+			}
+			storeFault = f
+		}
+		if *resume {
+			if _, err := os.Stat(*storeDir); err != nil {
+				return fmt.Errorf("-resume: store %s: %w (nothing to resume; drop -resume to start one)", *storeDir, err)
+			}
+		}
+		st, err := cellstore.Open(*storeDir, cellstore.Options{
+			Fault: storeFault,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "portbench: "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		store = st
+		spec.Store = store
 	}
 	if *traceOut != "" {
 		w, m, err := parseTraceCell(*traceCell, spec)
@@ -177,7 +227,7 @@ func run(args []string, out io.Writer) error {
 		for _, e := range suite {
 			ids = append(ids, e.id)
 		}
-		s, err := newTelemetrySink(runner, spec, plannedCells(spec, ids, want), progress, *listen)
+		s, err := newTelemetrySink(runner, spec, plannedCells(spec, ids, want), progress, *listen, store)
 		if err != nil {
 			return err
 		}
@@ -237,6 +287,17 @@ func run(args []string, out io.Writer) error {
 			float64(runner.SimulatedCycles())/secs/1e6,
 			float64(runner.SimulatedInstructions())/secs/1e6)
 	}
+	if store != nil {
+		st := store.Stats()
+		line := fmt.Sprintf("store: %d restored, %d simulated, %d written", st.Hits, st.Misses, st.Puts)
+		if st.Quarantined > 0 {
+			line += fmt.Sprintf(", %d quarantined", st.Quarantined)
+		}
+		if st.Degraded {
+			line += " (degraded: finished store-less)"
+		}
+		fmt.Fprintln(out, line)
+	}
 	benchPathUsed := ""
 	if *benchjson != "" {
 		now := time.Now()
@@ -271,6 +332,24 @@ func run(args []string, out io.Writer) error {
 			TraceOut:    *traceOut,
 			Bundles:     bundles,
 			WallSeconds: elapsed.Seconds(),
+		}
+		if store != nil {
+			st := store.Stats()
+			fault := ""
+			if storeFault != nil {
+				fault = storeFault.String()
+			}
+			info.Store = &telemetry.ManifestStore{
+				Dir:         *storeDir,
+				Resumed:     *resume,
+				Fault:       fault,
+				Hits:        st.Hits,
+				Misses:      st.Misses,
+				Puts:        st.Puts,
+				PutFailures: st.PutFailures,
+				Quarantined: st.Quarantined,
+				Degraded:    st.Degraded,
+			}
 		}
 		if err := telemetry.WriteManifest(*manifest, sink.camp.BuildManifest(info)); err != nil {
 			return fmt.Errorf("manifest: %w", err)

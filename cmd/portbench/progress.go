@@ -100,6 +100,8 @@ func (p *progressPrinter) cellDone(s telemetry.CellSample) {
 			status = " FAILED"
 		case s.MemoHit:
 			status = " (memo)"
+		case s.StoreHit:
+			status = " (store)"
 		}
 		fmt.Fprintf(p.w, "portbench: cell %d/%d: %s @ %s%s\n",
 			done, p.planned, s.Workload, s.Machine, status)
@@ -125,7 +127,10 @@ func (p *progressPrinter) render(done int) {
 	if elapsed >= rateMinElapsed {
 		line += fmt.Sprintf(" | %.1f Mcycles/s", float64(p.camp.SimCycles())/elapsed.Seconds()/1e6)
 	}
-	simDone := done - p.camp.MemoHits()
+	// Store hits, like memo hits, finish in microseconds; the per-cell
+	// average must be over cells that actually simulated or a resumed
+	// campaign's opening run of restores collapses the ETA toward zero.
+	simDone := done - p.camp.MemoHits() - p.camp.StoreHits()
 	if simDone >= etaMinBasis && done < p.planned && elapsed >= etaMinElapsed {
 		// Assume the remaining cells are all full-cost: a memo hit among
 		// them only makes the estimate finish early, never blow through.

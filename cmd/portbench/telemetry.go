@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"portsim/internal/cellstore"
 	"portsim/internal/config"
 	"portsim/internal/core"
 	"portsim/internal/experiments"
@@ -85,6 +86,7 @@ func cellSample(ev experiments.CellEvent) telemetry.CellSample {
 		Workload:        ev.Workload,
 		ConfigJSON:      ev.ConfigJSON,
 		MemoHit:         ev.MemoHit,
+		StoreHit:        ev.StoreHit,
 		WallSeconds:     ev.WallSeconds,
 		PortUtilization: -1,
 		PortRejectRate:  -1,
@@ -133,10 +135,23 @@ type telemetrySink struct {
 // constructs a sink when some telemetry flag is set; otherwise the
 // runner's observer slot stays nil — the zero-cost path.
 func newTelemetrySink(runner *experiments.Runner, spec experiments.Spec,
-	planned int, mode progressMode, listen string) (*telemetrySink, error) {
+	planned int, mode progressMode, listen string, store *cellstore.Store) (*telemetrySink, error) {
 	reg := telemetry.NewRegistry()
 	sink := &telemetrySink{
 		camp: telemetry.NewCampaign(reg, planned),
+	}
+	if store != nil {
+		reg.GaugeFunc("portsim_store_quarantined_total",
+			"Corrupt cell-store entries quarantined (moved to *.corrupt) this run.",
+			func() float64 { return float64(store.Stats().Quarantined) })
+		reg.GaugeFunc("portsim_store_degraded",
+			"1 when the cell store has degraded to store-less operation, else 0.",
+			func() float64 {
+				if store.Stats().Degraded {
+					return 1
+				}
+				return 0
+			})
 	}
 	sink.printer = newProgressPrinter(mode, os.Stderr, planned, sink.camp)
 	if spec.Trace != nil {

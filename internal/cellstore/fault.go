@@ -1,0 +1,74 @@
+package cellstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FaultMode selects which store failure a Fault injects.
+type FaultMode string
+
+// Store fault modes, the portbench -inject-store vocabulary.
+const (
+	// FaultTorn tears an entry mid-Put: the write bypasses the
+	// temp+rename discipline and lands truncated, modelling a crash on a
+	// filesystem without atomic rename. The next Get must quarantine it.
+	FaultTorn FaultMode = "torn"
+	// FaultCorrupt flips a byte in the entry after a successful Put —
+	// bit rot the checksum must catch on the next Get.
+	FaultCorrupt FaultMode = "corrupt"
+	// FaultIOErr fails the write attempt itself, driving the Put
+	// retry/backoff path and, when persistent, store degradation.
+	FaultIOErr FaultMode = "ioerr"
+)
+
+// Fault describes one injected store failure domain. Rate selects how
+// often it fires; firing is deterministic (a counter, not a PRNG), so a
+// faulted campaign behaves identically on every run.
+type Fault struct {
+	// Mode is the failure to inject.
+	Mode FaultMode `json:"mode"`
+	// Rate is the fraction of eligible operations that fault, in (0, 1].
+	Rate float64 `json:"rate"`
+}
+
+// ParseFault parses the portbench -inject-store syntax "mode[:rate]".
+// Rate defaults to 1 (every eligible operation faults).
+func ParseFault(s string) (*Fault, error) {
+	mode, rateStr, hasRate := strings.Cut(s, ":")
+	f := &Fault{Mode: FaultMode(mode), Rate: 1}
+	switch f.Mode {
+	case FaultTorn, FaultCorrupt, FaultIOErr:
+	default:
+		return nil, fmt.Errorf("cellstore: unknown store fault mode %q (have %s, %s, %s)",
+			mode, FaultTorn, FaultCorrupt, FaultIOErr)
+	}
+	if hasRate {
+		r, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cellstore: bad store fault rate %q: %v", rateStr, err)
+		}
+		if !(r > 0 && r <= 1) {
+			return nil, fmt.Errorf("cellstore: store fault rate %v out of (0, 1]", r)
+		}
+		f.Rate = r
+	}
+	return f, nil
+}
+
+// String renders the fault in ParseFault syntax.
+func (f *Fault) String() string {
+	if f.Rate < 1 {
+		return fmt.Sprintf("%s:%g", f.Mode, f.Rate)
+	}
+	return string(f.Mode)
+}
+
+// fires reports whether the n-th eligible operation faults. The schedule
+// is the deterministic Bresenham spread of Rate over the integers: the
+// k-th fault lands on operation ceil(k/Rate), so a rate of 0.25 fires on
+// operations 4, 8, 12, ... and a rate of 1 on every operation.
+func (f *Fault) fires(n uint64) bool {
+	return uint64(float64(n)*f.Rate) > uint64(float64(n-1)*f.Rate)
+}

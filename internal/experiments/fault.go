@@ -59,6 +59,12 @@ func ParseFault(s string) (*Fault, error) {
 			parts[0], FaultPanic, FaultBadInst, FaultWedge)
 	}
 	if len(parts) == 3 {
+		if f.Mode == FaultWedge {
+			// Wedge fires at machine construction, not at an instruction
+			// count; a trailing :after would be silently ignored, which is
+			// exactly the kind of fault spec a robustness run should reject.
+			return nil, fmt.Errorf("experiments: fault mode %s takes no instruction count (got %q)", FaultWedge, s)
+		}
 		n, err := strconv.ParseUint(parts[2], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bad fault instruction count %q: %v", parts[2], err)

@@ -299,7 +299,7 @@ func TestParseFault(t *testing.T) {
 	if f.String() != "wedge:eqntott" {
 		t.Errorf("String() = %q", f.String())
 	}
-	for _, bad := range []string{"", "panic", "panic:", ":compress", "frob:compress", "panic:compress:xyz", "panic:compress:1:2"} {
+	for _, bad := range []string{"", "panic", "panic:", ":compress", "frob:compress", "panic:compress:xyz", "panic:compress:1:2", "wedge:compress:100"} {
 		if _, err := ParseFault(bad); err == nil {
 			t.Errorf("ParseFault(%q) accepted", bad)
 		}

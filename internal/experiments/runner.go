@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"portsim/internal/cellstore"
 	"portsim/internal/config"
 	"portsim/internal/cpu"
 	"portsim/internal/diag"
@@ -43,6 +44,14 @@ type Spec struct {
 	// Perfetto trace (portbench -trace-out). All other cells run exactly
 	// as without it, so tables stay byte-identical.
 	Trace *TraceSpec
+	// Store, when non-nil, is the durable cell store consulted between the
+	// in-process memo and the simulator (lookup order: memo → store →
+	// simulate → Put). A warm store restores finished cells — results and
+	// deterministic failures alike — without simulating; the tables a
+	// campaign renders are byte-identical with the store on, off, cold or
+	// warm. Store trouble never fails a run: corrupt entries quarantine and
+	// re-simulate, a broken disk degrades the store to store-less operation.
+	Store *cellstore.Store
 	// NoSkip steps every simulated cycle instead of letting the core
 	// fast-forward over inert stretches (cpu.Options.NoSkip). Skipping is
 	// table-neutral by construction; this escape hatch exists for the CI
@@ -93,6 +102,11 @@ type CellEvent struct {
 	// MemoHit marks a cell satisfied from the memo cache without
 	// simulating.
 	MemoHit bool
+	// StoreHit marks a cell restored from the durable store (Spec.Store)
+	// without simulating. At most one of MemoHit/StoreHit is set: waiters
+	// on an in-flight cell report MemoHit even when the owner's fill was a
+	// store restore.
+	StoreHit bool
 	// WallSeconds is the cell's simulation wall time (zero for memo hits
 	// and when no clock was injected).
 	WallSeconds float64
@@ -323,7 +337,7 @@ func (r *Runner) Run(m config.Machine, workloadName string) (*cpu.Result, error)
 	e := &memoEntry{done: make(chan struct{})}
 	r.cache[key] = e
 	r.mu.Unlock()
-	r.fill(e, func() (*cpu.Result, error) { return r.runWorkload(m, workloadName) })
+	r.fill(e, func() (*cpu.Result, error) { return r.runDurable(m, cfgJSON, workloadName) })
 	return e.res, e.err
 }
 

@@ -7,6 +7,13 @@
 // imports of HTTP/JSON/metrics machinery inside the guarded model
 // packages (internal/cpu, internal/core, internal/mem). Test files are
 // never analyzed.
+//
+// A second roster guards the opposite direction for the persistence
+// layer: internal/cellstore is exactly where file I/O and serialisation
+// belong (os and encoding/json are fine there), but it must stay ignorant
+// of the simulator model — entries carry opaque payloads, and the
+// experiments layer owns their encoding. Importing internal/{cpu,core,mem}
+// from the store is flagged.
 package layerimports
 
 import (
@@ -32,17 +39,41 @@ var Forbidden = map[string]string{
 	"portsim/internal/telemetry": "the model must not depend on its own observability layer",
 }
 
+// StoreGuarded lists the persistence packages that must stay ignorant of
+// the simulator model.
+var StoreGuarded = map[string]bool{
+	"portsim/internal/cellstore": true,
+}
+
+// StoreForbidden maps each model import banned inside the store layer to
+// the reason. os and encoding/json are deliberately absent: the store is
+// exactly where file I/O and serialisation belong.
+var StoreForbidden = map[string]string{
+	"portsim/internal/cpu":  "the store holds opaque payloads; cpu.Result encoding belongs in internal/experiments",
+	"portsim/internal/core": "the store must not reach into the pipeline model",
+	"portsim/internal/mem":  "the store must not reach into the memory hierarchy",
+}
+
 // Analyzer is the layerimports analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "layerimports",
 	Doc: "flags presentation-layer imports (net/http, encoding/json, expvar, " +
 		"internal/telemetry) inside the simulator model packages, keeping " +
-		"observability strictly outside the cycle-accurate code",
+		"observability strictly outside the cycle-accurate code, and model " +
+		"imports inside the persistence layer (internal/cellstore), keeping " +
+		"the durable store simulator-ignorant",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
-	if !Guarded[pass.Pkg.Path()] {
+	var banned map[string]string
+	var where string
+	switch {
+	case Guarded[pass.Pkg.Path()]:
+		banned, where = Forbidden, "a model package"
+	case StoreGuarded[pass.Pkg.Path()]:
+		banned, where = StoreForbidden, "the store layer"
+	default:
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -51,9 +82,9 @@ func run(pass *analysis.Pass) error {
 			if err != nil {
 				continue
 			}
-			if reason, ok := Forbidden[path]; ok {
+			if reason, ok := banned[path]; ok {
 				pass.Reportf(imp.Pos(),
-					"import %q in a model package: %s", path, reason)
+					"import %q in %s: %s", path, where, reason)
 			}
 		}
 	}

@@ -22,6 +22,16 @@ func TestUnguardedPackageExempt(t *testing.T) {
 	analysistest.Run(t, layerimports.Analyzer, "free")
 }
 
+// TestStorePackageFlagged treats the fixture as the durable store and
+// expects its model import to be reported while encoding/json and os —
+// banned in model packages, native to the store — stay silent.
+func TestStorePackageFlagged(t *testing.T) {
+	const path = "portsim/internal/lint/layerimports/testdata/src/storepkg"
+	layerimports.StoreGuarded[path] = true
+	defer delete(layerimports.StoreGuarded, path)
+	analysistest.Run(t, layerimports.Analyzer, "storepkg")
+}
+
 // TestGuardedSetPinsModelPackages pins the production guard list so a
 // refactor cannot silently drop a model package from enforcement.
 func TestGuardedSetPinsModelPackages(t *testing.T) {
@@ -37,6 +47,18 @@ func TestGuardedSetPinsModelPackages(t *testing.T) {
 	for _, imp := range []string{"net/http", "encoding/json", "expvar", "portsim/internal/telemetry"} {
 		if layerimports.Forbidden[imp] == "" {
 			t.Errorf("%s missing from the forbidden set", imp)
+		}
+	}
+	if !layerimports.StoreGuarded["portsim/internal/cellstore"] {
+		t.Error("portsim/internal/cellstore missing from the store guard set")
+	}
+	for _, imp := range []string{
+		"portsim/internal/cpu",
+		"portsim/internal/core",
+		"portsim/internal/mem",
+	} {
+		if layerimports.StoreForbidden[imp] == "" {
+			t.Errorf("%s missing from the store-forbidden set", imp)
 		}
 	}
 }

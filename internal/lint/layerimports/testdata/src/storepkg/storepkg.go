@@ -1,0 +1,17 @@
+// Package storepkg is a layerimports fixture standing in for the durable
+// cell store: model imports are flagged, while the file-I/O and
+// serialisation imports the store exists for stay silent.
+package storepkg
+
+import (
+	"encoding/json"
+	"os"
+
+	"portsim/internal/core" // want `import "portsim/internal/core" in the store layer`
+)
+
+func use() {
+	_ = json.Valid(nil)
+	_ = os.IsNotExist(nil)
+	_ = core.NewLineBufferSet(1, 64)
+}

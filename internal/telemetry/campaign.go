@@ -20,8 +20,12 @@ type CellSample struct {
 	ConfigJSON []byte
 
 	MemoHit bool
-	Failed  bool
-	Error   string
+	// StoreHit marks a cell restored from the durable cell store. Like a
+	// memo hit it was not simulated in this run: its cycles, instructions
+	// and (zero) wall time stay out of the simulation-rate metrics.
+	StoreHit bool
+	Failed   bool
+	Error    string
 
 	WallSeconds float64
 	Cycles      uint64
@@ -45,6 +49,7 @@ type Campaign struct {
 	cellsDone    *Counter
 	cellsFailed  *Counter
 	memoHits     *Counter
+	storeHits    *Counter
 	simCycles    *Counter
 	simInsts     *Counter
 	wallHist     *Histogram
@@ -78,6 +83,8 @@ func NewCampaign(reg *Registry, planned int) *Campaign {
 			"Experiment cells that failed (panic, deadline, watchdog stall)."),
 		memoHits: reg.Counter("portsim_cells_memo_hits_total",
 			"Experiment cells satisfied from the runner's memo cache."),
+		storeHits: reg.Counter("portsim_cells_store_hits_total",
+			"Experiment cells restored from the durable cell store."),
 		simCycles: reg.Counter("portsim_sim_cycles_total",
 			"Simulated cycles across non-memoised cells."),
 		simInsts: reg.Counter("portsim_sim_insts_total",
@@ -124,6 +131,8 @@ func (c *Campaign) CellDone(s CellSample) {
 	}
 	if s.MemoHit {
 		c.memoHits.Inc()
+	} else if s.StoreHit {
+		c.storeHits.Inc()
 	} else if !s.Failed {
 		c.simCycles.Add(s.Cycles)
 		c.simInsts.Add(s.Insts)
@@ -142,6 +151,7 @@ func (c *Campaign) CellDone(s CellSample) {
 		ConfigHash:  HashConfig(s.ConfigJSON),
 		Outcome:     OutcomeOK,
 		MemoHit:     s.MemoHit,
+		StoreHit:    s.StoreHit,
 		WallSeconds: s.WallSeconds,
 		Cycles:      s.Cycles,
 		Insts:       s.Insts,
@@ -168,6 +178,11 @@ func (c *Campaign) Done() int { return int(c.cellsDone.Value()) }
 // free.
 func (c *Campaign) MemoHits() int { return int(c.memoHits.Value()) }
 
+// StoreHits returns how many completed cells were restored from the durable
+// cell store. Like memo hits, they are excluded from throughput and ETA
+// estimates: a restore costs one file read, not a simulation.
+func (c *Campaign) StoreHits() int { return int(c.storeHits.Value()) }
+
 // SimCycles returns the simulated-cycle total so far.
 func (c *Campaign) SimCycles() uint64 { return c.simCycles.Value() }
 
@@ -188,6 +203,9 @@ type ManifestInfo struct {
 	TraceOut    string
 	Bundles     []string
 	WallSeconds float64
+	// Store is the durable-store summary, nil when the campaign ran
+	// without one.
+	Store *ManifestStore
 }
 
 // BuildManifest assembles the manifest from the accumulated cells. Cells
@@ -221,9 +239,12 @@ func (c *Campaign) BuildManifest(info ManifestInfo) *Manifest {
 		if cell.Outcome == OutcomeFailed {
 			totals.Failed++
 		}
-		if cell.MemoHit {
+		switch {
+		case cell.MemoHit:
 			totals.MemoHits++
-		} else if cell.Outcome == OutcomeOK {
+		case cell.StoreHit:
+			totals.StoreHits++
+		case cell.Outcome == OutcomeOK:
 			totals.SimCycles += cell.Cycles
 			totals.SimInsts += cell.Insts
 		}
@@ -245,6 +266,7 @@ func (c *Campaign) BuildManifest(info ManifestInfo) *Manifest {
 		BenchJSON:   info.BenchJSON,
 		TraceOut:    info.TraceOut,
 		Bundles:     info.Bundles,
+		Store:       info.Store,
 		Cells:       cells,
 		Totals:      totals,
 	}

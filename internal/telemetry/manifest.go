@@ -30,7 +30,12 @@ type ManifestCell struct {
 	// MemoHit marks a cell satisfied from the runner's memo cache; its
 	// cycles and instructions describe the original simulation and are
 	// excluded from the totals.
-	MemoHit     bool    `json:"memo_hit,omitempty"`
+	MemoHit bool `json:"memo_hit,omitempty"`
+	// StoreHit marks a cell restored from the durable cell store (-store):
+	// like a memo hit, it was not simulated in this run and its cycles and
+	// instructions are excluded from the totals. At most one of MemoHit and
+	// StoreHit is set.
+	StoreHit    bool    `json:"store_hit,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Cycles      uint64  `json:"cycles"`
 	Insts       uint64  `json:"insts"`
@@ -42,6 +47,8 @@ type ManifestTotals struct {
 	Cells    int `json:"cells"`
 	Failed   int `json:"failed"`
 	MemoHits int `json:"memo_hits"`
+	// StoreHits counts cells restored from the durable store.
+	StoreHits int `json:"store_hits,omitempty"`
 	// SimCycles and SimInsts sum over simulated (non-memo-hit, successful)
 	// cells only, matching the runner's own work accounting.
 	SimCycles   uint64  `json:"sim_cycles"`
@@ -78,8 +85,34 @@ type Manifest struct {
 	TraceOut  string   `json:"trace_out,omitempty"`
 	Bundles   []string `json:"bundles,omitempty"`
 
+	// Store summarises the durable cell store when the campaign ran with
+	// one (-store); nil otherwise.
+	Store *ManifestStore `json:"store,omitempty"`
+
 	Cells  []ManifestCell `json:"cells"`
 	Totals ManifestTotals `json:"totals"`
+}
+
+// ManifestStore records the durable cell store a campaign ran against and
+// how it behaved: the resume economics (hits versus re-simulated misses)
+// and every degradation the run survived.
+type ManifestStore struct {
+	// Dir is the store directory as given on the command line.
+	Dir string `json:"dir"`
+	// Resumed marks a campaign started with -resume.
+	Resumed bool `json:"resumed,omitempty"`
+	// Fault is the -inject-store descriptor when store faults were armed.
+	Fault string `json:"fault,omitempty"`
+	// Hits/Misses/Puts mirror the store's operation counters at campaign
+	// end; Quarantined and PutFailures count the trouble it absorbed.
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	PutFailures uint64 `json:"put_failures,omitempty"`
+	Quarantined uint64 `json:"quarantined,omitempty"`
+	// Degraded marks a store that shut itself off mid-campaign; the run
+	// completed store-less.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // HashConfig fingerprints one machine-configuration JSON document. The
@@ -134,9 +167,15 @@ func (m *Manifest) Validate() error {
 		if c.WallSeconds < 0 {
 			return fmt.Errorf("%s: negative wall_seconds %v", where, c.WallSeconds)
 		}
-		if c.MemoHit {
+		if c.MemoHit && c.StoreHit {
+			return fmt.Errorf("%s: both memo_hit and store_hit set", where)
+		}
+		switch {
+		case c.MemoHit:
 			want.MemoHits++
-		} else if c.Outcome == OutcomeOK {
+		case c.StoreHit:
+			want.StoreHits++
+		case c.Outcome == OutcomeOK:
 			want.SimCycles += c.Cycles
 			want.SimInsts += c.Insts
 		}
@@ -150,6 +189,17 @@ func (m *Manifest) Validate() error {
 	}
 	if m.ConfigHash == "" {
 		return fmt.Errorf("manifest: missing config_hash")
+	}
+	if m.Store != nil {
+		if m.Store.Dir == "" {
+			return fmt.Errorf("manifest: store summary without a directory")
+		}
+		if uint64(m.Totals.StoreHits) > m.Store.Hits {
+			return fmt.Errorf("manifest: %d store-hit cells but the store reports only %d hits",
+				m.Totals.StoreHits, m.Store.Hits)
+		}
+	} else if m.Totals.StoreHits != 0 {
+		return fmt.Errorf("manifest: %d store-hit cells without a store summary", m.Totals.StoreHits)
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"portsim/internal/cellstore"
 )
 
 func sampleCampaign() *Campaign {
@@ -184,10 +186,108 @@ func TestManifestValidateRejectsCorruption(t *testing.T) {
 	}
 }
 
+// storeCampaign is sampleCampaign plus one cell restored from the durable
+// store.
+func storeCampaign() *Campaign {
+	c := sampleCampaign()
+	c.CellDone(CellSample{
+		Machine: "4-port", Workload: "eqntott", ConfigJSON: []byte(`{"ports":4}`),
+		StoreHit: true, Cycles: 7_000, Insts: 6_000,
+		PortUtilization: 0.2, PortRejectRate: 0.01,
+	})
+	return c
+}
+
+// TestManifestStoreSummary pins the durable-store accounting: restored
+// cells count as store hits, stay out of the simulated-work totals, and the
+// campaign-level store summary survives the round trip.
+func TestManifestStoreSummary(t *testing.T) {
+	c := storeCampaign()
+	if c.StoreHits() != 1 {
+		t.Fatalf("StoreHits() = %d, want 1", c.StoreHits())
+	}
+	info := sampleInfo()
+	info.Store = &ManifestStore{Dir: "cells", Resumed: true, Hits: 1, Misses: 2, Puts: 2}
+	m := c.BuildManifest(info)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built manifest invalid: %v", err)
+	}
+	if m.Totals.StoreHits != 1 || m.Totals.Cells != 5 {
+		t.Errorf("totals = %+v, want 1 store hit over 5 cells", m.Totals)
+	}
+	// The restored cell's cycles must not inflate the simulated totals.
+	if m.Totals.SimCycles != 15_000 || m.Totals.SimInsts != 12_500 {
+		t.Errorf("sim totals = %d/%d, want 15000/12500", m.Totals.SimCycles, m.Totals.SimInsts)
+	}
+	path := filepath.Join(t.TempDir(), "MANIFEST.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Store == nil || *got.Store != *info.Store {
+		t.Errorf("store summary drifted: %+v", got.Store)
+	}
+}
+
+// TestManifestStoreValidation covers the store-specific corruption shapes.
+func TestManifestStoreValidation(t *testing.T) {
+	// fresh rebuilds from scratch every time: BuildManifest passes the
+	// ManifestStore pointer through, so a corrupting case must not leak its
+	// mutation into the next one.
+	fresh := func() *Manifest {
+		info := sampleInfo()
+		info.Store = &ManifestStore{Dir: "cells", Hits: 1, Misses: 2, Puts: 2}
+		return storeCampaign().BuildManifest(info)
+	}
+
+	m := fresh()
+	m.Store = nil
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "without a store summary") {
+		t.Errorf("store hits without a summary accepted: %v", err)
+	}
+
+	m = fresh()
+	m.Store.Dir = ""
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "without a directory") {
+		t.Errorf("store summary without dir accepted: %v", err)
+	}
+
+	m = fresh()
+	m.Store.Hits = 0
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "store reports only") {
+		t.Errorf("more store-hit cells than store hits accepted: %v", err)
+	}
+
+	m = fresh()
+	for i := range m.Cells {
+		if m.Cells[i].StoreHit {
+			m.Cells[i].MemoHit = true
+		}
+	}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "both memo_hit and store_hit") {
+		t.Errorf("cell with both hit kinds accepted: %v", err)
+	}
+}
+
 func TestWriteManifestRefusesInvalid(t *testing.T) {
 	m := sampleCampaign().BuildManifest(sampleInfo())
 	m.Schema = "nope"
 	if err := WriteManifest(filepath.Join(t.TempDir(), "m.json"), m); err == nil {
 		t.Fatal("invalid manifest written")
+	}
+}
+
+// TestHashConfigMatchesCellstore pins the deliberate duplication: the
+// durable cell store computes config hashes with its own copy of this
+// algorithm (it must not import the telemetry layer), and resume identity
+// depends on the two never drifting apart.
+func TestHashConfigMatchesCellstore(t *testing.T) {
+	for _, doc := range []string{`{}`, `{"name":"baseline-1port","ports":1}`, ""} {
+		if got, want := cellstore.HashConfig([]byte(doc)), HashConfig([]byte(doc)); got != want {
+			t.Errorf("HashConfig(%q): cellstore %s, telemetry %s", doc, got, want)
+		}
 	}
 }
