@@ -56,13 +56,27 @@ func run(args []string) error {
 			baseline.Workloads, baseline.Insts, baseline.Parallel,
 			current.Workloads, current.Insts, current.Parallel)
 	}
-	fmt.Printf("baseline: %.0f cycles/s, %.2f allocs/1k-cycles (%s)\n",
-		baseline.Total.CyclesPerSec, baseline.Total.AllocsPer1kCycles, baseline.Date)
-	fmt.Printf("current:  %.0f cycles/s, %.2f allocs/1k-cycles (%s)\n",
-		current.Total.CyclesPerSec, current.Total.AllocsPer1kCycles, current.Date)
+	fmt.Printf("baseline: %.0f cycles/s, %.2f allocs/1k-cycles (%s, %s)\n",
+		baseline.Total.CyclesPerSec, baseline.Total.AllocsPer1kCycles, baseline.Date, hostLine(baseline))
+	fmt.Printf("current:  %.0f cycles/s, %.2f allocs/1k-cycles (%s, %s)\n",
+		current.Total.CyclesPerSec, current.Total.AllocsPer1kCycles, current.Date, hostLine(current))
+	if baseline.HostCPUs != 0 && current.HostCPUs != 0 && baseline.HostCPUs != current.HostCPUs {
+		fmt.Printf("note: host CPU counts differ (%d vs %d); the cycles/sec comparison spans machines\n",
+			baseline.HostCPUs, current.HostCPUs)
+	}
 	if err := benchfmt.Compare(baseline, current, *maxRegress, *maxAllocGrowth); err != nil {
 		return err
 	}
 	fmt.Println("benchgate: ok")
 	return nil
+}
+
+// hostLine renders a report's host description for the verdict: the rate
+// metrics only compare cleanly between equal hosts, so both sides are
+// printed next to the numbers they qualify.
+func hostLine(r *benchfmt.Report) string {
+	if r.HostCPUs == 0 && r.GoMaxProcs == 0 {
+		return "host unknown"
+	}
+	return fmt.Sprintf("%d cpus, gomaxprocs %d", r.HostCPUs, r.GoMaxProcs)
 }

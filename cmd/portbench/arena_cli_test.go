@@ -1,0 +1,103 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"portsim/internal/telemetry"
+)
+
+// stripArenas drops the arena footer on top of the timing footer, for
+// comparisons between runs whose arena economics legitimately differ.
+func stripArenas(out string) string {
+	var kept []string
+	for _, line := range strings.Split(stripTiming(out), "\n") {
+		if strings.HasPrefix(line, "arenas: ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestArenaOnOffByteIdentical is the CLI-level statement of the tentpole
+// guarantee: every table is byte-identical with trace arenas on (default),
+// off, and squeezed into a budget that forces fallbacks — serial and
+// parallel.
+func TestArenaOnOffByteIdentical(t *testing.T) {
+	base := []string{"-quick", "-insts", "4000", "-only", "T2,F1,A6"}
+	on, err := runPB(t, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(on, "arenas: ") {
+		t.Errorf("default run missing the arena footer:\n%s", on)
+	}
+	off, err := runPB(t, append(base, "-arena-budget", "off")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off, "arenas: ") {
+		t.Error("-arena-budget off still printed the arena footer")
+	}
+	if stripArenas(on) != stripArenas(off) {
+		t.Errorf("arenas-on output diverged from arenas-off:\n--- on ---\n%s\n--- off ---\n%s", on, off)
+	}
+	tight, err := runPB(t, append(base, "-arena-budget", "200kb")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tight, "fallbacks") {
+		t.Errorf("tight budget produced no fallbacks:\n%s", tight)
+	}
+	if stripArenas(tight) != stripArenas(off) {
+		t.Errorf("fallback output diverged from arenas-off:\n--- tight ---\n%s\n--- off ---\n%s", tight, off)
+	}
+	par, err := runPB(t, append(base, "-parallel", "8")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripTiming(par) != stripTiming(on) {
+		t.Errorf("-parallel 8 with arenas diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", on, par)
+	}
+}
+
+// TestArenaBudgetRejected: a malformed -arena-budget is a flag error, not
+// a silent default.
+func TestArenaBudgetRejected(t *testing.T) {
+	if _, err := runPB(t, "-quick", "-only", "T1", "-arena-budget", "lots"); err == nil {
+		t.Error("malformed -arena-budget accepted")
+	}
+}
+
+// TestManifestArenaSummary: a campaign with arenas enabled records their
+// economics in the run manifest; with arenas off the section is absent.
+func TestManifestArenaSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "MANIFEST.json")
+	if _, err := runPB(t, "-quick", "-insts", "4000", "-only", "F1", "-manifest", path); err != nil {
+		t.Fatal(err)
+	}
+	m, err := telemetry.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arenas == nil {
+		t.Fatal("manifest has no arena summary with arenas on")
+	}
+	if m.Arenas.Builds == 0 || m.Arenas.Hits == 0 || m.Arenas.Bytes == 0 {
+		t.Errorf("arena summary implausible: %+v", m.Arenas)
+	}
+
+	off := filepath.Join(t.TempDir(), "MANIFEST.json")
+	if _, err := runPB(t, "-quick", "-insts", "4000", "-only", "F1", "-manifest", off, "-arena-budget", "off"); err != nil {
+		t.Fatal(err)
+	}
+	mo, err := telemetry.ReadManifest(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mo.Arenas != nil {
+		t.Errorf("manifest has an arena summary with arenas off: %+v", mo.Arenas)
+	}
+}

@@ -143,6 +143,8 @@ func (b *benchRecorder) report(spec experiments.Spec, parallel int, elapsed time
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		Parallel:    parallel,
+		HostCPUs:    runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workloads:   len(spec.Workloads),
 		Insts:       spec.Insts,
 		Seed:        spec.Seed,

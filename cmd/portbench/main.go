@@ -5,7 +5,7 @@
 // Usage:
 //
 //	portbench [-quick] [-insts n] [-seed n] [-only T1,F6,...] [-csv]
-//	          [-parallel n] [-progress[=rich|plain]] [-flightrec]
+//	          [-parallel n] [-arena-budget size] [-progress[=rich|plain]] [-flightrec]
 //	          [-inject mode:workload[:after]] [-repro-dir dir]
 //	          [-store dir] [-resume] [-inject-store mode[:rate]]
 //	          [-listen addr] [-manifest path] [-hold d]
@@ -32,6 +32,13 @@
 // re-simulated, and a broken store degrades to store-less operation
 // rather than failing the run. -inject-store drives those paths on
 // purpose for robustness testing.
+//
+// Trace arenas (on by default, see DESIGN.md "Trace arenas"): each
+// (workload, seed) dynamic trace is generated once into an immutable
+// in-memory arena and replayed by every cell that needs it, bounded by
+// -arena-budget (default 512MiB; off/0 disables). Cells that do not fit
+// fall back to live generation. Tables are byte-identical with arenas
+// on, off, or partially fallen back, serial or parallel.
 //
 // Observability (all opt-in, see README.md "Observability"): -listen
 // serves live campaign metrics over HTTP (/metrics Prometheus text,
@@ -75,6 +82,7 @@ func run(args []string, out io.Writer) error {
 		only      = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 		csv       = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		parallel  = fs.Int("parallel", 0, "concurrent simulations (<=0: GOMAXPROCS); tables are byte-identical at any setting")
+		arena     = fs.String("arena-budget", "", "shared trace-arena byte budget (e.g. 256MiB, 1g; off/0 disables); tables are byte-identical at any setting")
 		flightrec = fs.Bool("flightrec", false, "arm the per-cell pipeline flight recorder (failure forensics)")
 		noSkip    = fs.Bool("no-skip", false, "step every simulated cycle instead of event-driven fast-forward; tables are byte-identical either way")
 		inject    = fs.String("inject", "", "poison one workload's cells: mode:workload[:after] with mode panic|badinst|wedge")
@@ -117,6 +125,11 @@ func run(args []string, out io.Writer) error {
 	spec.Parallel = *parallel
 	spec.FlightRecorder = *flightrec
 	spec.NoSkip = *noSkip
+	budget, err := experiments.ParseArenaBudget(*arena)
+	if err != nil {
+		return err
+	}
+	spec.ArenaBudget = budget
 	if *inject != "" {
 		fault, err := experiments.ParseFault(*inject)
 		if err != nil {
@@ -298,6 +311,18 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out, line)
 	}
+	if ast, ok := runner.ArenaStats(); ok {
+		line := fmt.Sprintf("arenas: %d built, %d replays, %d resident (%.1f MiB of %.0f MiB budget)",
+			ast.Builds, ast.Hits, ast.Count,
+			float64(ast.Bytes)/(1<<20), float64(ast.Budget)/(1<<20))
+		if ast.Fallbacks > 0 {
+			line += fmt.Sprintf(", %d fallbacks", ast.Fallbacks)
+		}
+		if ast.Evictions > 0 {
+			line += fmt.Sprintf(", %d evictions", ast.Evictions)
+		}
+		fmt.Fprintln(out, line)
+	}
 	benchPathUsed := ""
 	if *benchjson != "" {
 		now := time.Now()
@@ -349,6 +374,17 @@ func run(args []string, out io.Writer) error {
 				PutFailures: st.PutFailures,
 				Quarantined: st.Quarantined,
 				Degraded:    st.Degraded,
+			}
+		}
+		if ast, ok := runner.ArenaStats(); ok {
+			info.Arenas = &telemetry.ManifestArenas{
+				BudgetBytes: ast.Budget,
+				Count:       ast.Count,
+				Bytes:       ast.Bytes,
+				Builds:      ast.Builds,
+				Hits:        ast.Hits,
+				Fallbacks:   ast.Fallbacks,
+				Evictions:   ast.Evictions,
 			}
 		}
 		if err := telemetry.WriteManifest(*manifest, sink.camp.BuildManifest(info)); err != nil {

@@ -13,13 +13,14 @@ import (
 	"portsim/internal/telemetry"
 )
 
-// stripStore drops the store footer line on top of the timing footer: the
-// store economics (restored vs simulated) legitimately differ between
-// cold, warm and store-less runs while every table must not.
+// stripStore drops the store and arena footer lines on top of the timing
+// footer: the store economics (restored vs simulated) and the arena replay
+// counts legitimately differ between cold, warm and store-less runs — a
+// restored cell never acquires an arena — while every table must not.
 func stripStore(out string) string {
 	var kept []string
 	for _, line := range strings.Split(stripTiming(out), "\n") {
-		if strings.HasPrefix(line, "store: ") {
+		if strings.HasPrefix(line, "store: ") || strings.HasPrefix(line, "arenas: ") {
 			continue
 		}
 		kept = append(kept, line)

@@ -153,6 +153,32 @@ func newTelemetrySink(runner *experiments.Runner, spec experiments.Spec,
 				return 0
 			})
 	}
+	if _, ok := runner.ArenaStats(); ok {
+		reg.GaugeFunc("portsim_arena_count",
+			"Trace arenas resident in the shared registry.",
+			func() float64 {
+				st, _ := runner.ArenaStats()
+				return float64(st.Count)
+			})
+		reg.GaugeFunc("portsim_arena_bytes",
+			"Bytes held by resident trace arenas.",
+			func() float64 {
+				st, _ := runner.ArenaStats()
+				return float64(st.Bytes)
+			})
+		reg.GaugeFunc("portsim_arena_hits_total",
+			"Cell acquisitions served from an already-materialised trace arena.",
+			func() float64 {
+				st, _ := runner.ArenaStats()
+				return float64(st.Hits)
+			})
+		reg.GaugeFunc("portsim_arena_fallbacks_total",
+			"Cell acquisitions that ran from live generation because the arena budget had no room.",
+			func() float64 {
+				st, _ := runner.ArenaStats()
+				return float64(st.Fallbacks)
+			})
+	}
 	sink.printer = newProgressPrinter(mode, os.Stderr, planned, sink.camp)
 	if spec.Trace != nil {
 		sink.traceWorkload = spec.Trace.Workload

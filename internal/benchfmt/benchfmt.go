@@ -49,6 +49,13 @@ type Report struct {
 	// Parallel is the simulation worker count the run used; cycles/sec is
 	// only comparable between runs at equal parallelism.
 	Parallel int `json:"parallel"`
+	// HostCPUs and GoMaxProcs describe the machine the run measured:
+	// runtime.NumCPU() and runtime.GOMAXPROCS(0). A throughput delta
+	// between two BENCH files means nothing if these differ — benchgate
+	// prints both sides so a cross-host comparison is visibly suspect.
+	// Zero in files written before the fields existed.
+	HostCPUs   int `json:"host_cpus,omitempty"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 	// Spec echoes the run scale so a reader can tell quick from full runs.
 	Workloads int    `json:"workloads"`
 	Insts     uint64 `json:"insts"`

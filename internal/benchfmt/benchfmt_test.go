@@ -70,6 +70,8 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	want := report(123_456, 7.5)
 	want.Date = "2026-08-05"
+	want.HostCPUs = 16
+	want.GoMaxProcs = 12
 	want.Experiments = []Experiment{{ID: "F1", SimCycles: 99}}
 	if err := Write(path, want); err != nil {
 		t.Fatal(err)
@@ -80,6 +82,26 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if got.Total != want.Total || got.Date != want.Date || len(got.Experiments) != 1 || got.Experiments[0].SimCycles != 99 {
 		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.HostCPUs != 16 || got.GoMaxProcs != 12 {
+		t.Fatalf("host fields drifted: cpus %d, gomaxprocs %d", got.HostCPUs, got.GoMaxProcs)
+	}
+}
+
+// TestHostFieldsOptional: BENCH files written before the host fields
+// existed parse with both zero — benchgate treats that as "host unknown"
+// rather than rejecting the trajectory history.
+func TestHostFieldsOptional(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	if err := Write(path, report(1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HostCPUs != 0 || got.GoMaxProcs != 0 {
+		t.Fatalf("absent host fields read as %d/%d, want 0/0", got.HostCPUs, got.GoMaxProcs)
 	}
 }
 

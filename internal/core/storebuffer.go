@@ -62,6 +62,14 @@ type StoreBuffer struct {
 	// can ask when the next completion lands.
 	nextExpiry uint64
 
+	// drainCand memoises NextDrain's answer between mutations: the scan
+	// reads only chunkAddr, issued and n, so the result stays valid until
+	// Insert, MarkIssued, Expire compaction or Reset touches them. The
+	// arbiter and the event-driven clock both ask every cycle while the
+	// buffer sits waiting, which without the memo is a quadratic rescan.
+	drainCand      int
+	drainCandValid bool
+
 	expired []SBEntry // scratch returned by Expire, reused across cycles
 
 	inserts, combined, drains, forwards, conflicts uint64
@@ -100,6 +108,7 @@ func (b *StoreBuffer) Reset() {
 	b.n = 0
 	b.nextSeq = 0
 	b.nextExpiry = NeverEvent
+	b.drainCandValid = false
 	b.inserts, b.combined, b.drains, b.forwards, b.conflicts = 0, 0, 0, 0, 0
 	b.occupancySamples, b.occupancySum = 0, 0
 }
@@ -159,6 +168,7 @@ func (b *StoreBuffer) Insert(now, addr uint64, size int, data []byte) (combined 
 	}
 	i := b.n
 	b.n++
+	b.drainCandValid = false
 	b.chunkAddr[i] = chunk
 	b.mask[i] = mask
 	b.seq[i] = b.nextSeq
@@ -228,6 +238,10 @@ func (b *StoreBuffer) ReadForward(addr uint64, p []byte) bool {
 // that missed, leaving the older bytes as the final value. The returned
 // index is valid until the next mutation.
 func (b *StoreBuffer) NextDrain() int {
+	if b.drainCandValid {
+		return b.drainCand
+	}
+	cand := -1
 	for i := 0; i < b.n; i++ {
 		if b.issued[i] {
 			continue
@@ -240,10 +254,13 @@ func (b *StoreBuffer) NextDrain() int {
 			}
 		}
 		if !blocked {
-			return i
+			cand = i
+			break
 		}
 	}
-	return -1
+	b.drainCand = cand
+	b.drainCandValid = true
+	return cand
 }
 
 // MarkIssued records that entry i's port write was sent at some cycle and
@@ -251,6 +268,7 @@ func (b *StoreBuffer) NextDrain() int {
 // removes it at or after done.
 func (b *StoreBuffer) MarkIssued(i int, done uint64) {
 	b.issued[i] = true
+	b.drainCandValid = false
 	b.drainDone[i] = done
 	if done < b.nextExpiry {
 		b.nextExpiry = done
@@ -348,6 +366,7 @@ func (b *StoreBuffer) Expire(now uint64) []SBEntry {
 	}
 	b.n = w
 	b.nextExpiry = next
+	b.drainCandValid = false
 	return b.expired[:k]
 }
 

@@ -35,6 +35,10 @@ import (
 // never is a completion time that has not been scheduled yet.
 const never = math.MaxUint64
 
+// staleGen marks a robEntry readiness cache invalid: readyGen counts up
+// from zero and cannot reach it.
+const staleGen = ^uint64(0)
+
 // entryState tracks an instruction's progress through the backend.
 type entryState uint8
 
@@ -64,9 +68,50 @@ type robEntry struct {
 	// memory operations.
 	dispatchedAt uint64
 
+	// readyCache memoises the entry's operand-readiness (operandsReadyAt,
+	// or the address operand alone for stores) so the per-cycle issue and
+	// skip scans compare one cached word instead of re-reading the ready
+	// files. The cache is valid while readyGen matches Core.readyGen: a
+	// finite value is final until a memory-order squash bumps the global
+	// generation, and a cached never is parked on the blocking register's
+	// waiter list, whose pop (at publish, in setDestReady) sets readyGen
+	// to staleGen to force the recompute.
+	readyCache uint64
+	readyGen   uint64
+
+	// waitNext links this entry on a register waiter list while onWaitList
+	// (see Core.intWaiter); -1 terminates the list.
+	waitNext   int32
+	onWaitList bool
+
+	// inLive / inHeap record which issue worklist the entry currently sits
+	// in (Core.liveList / Core.wakeHeap) so routing stays idempotent: a
+	// dispatched entry lives in at most one of {live list, wake heap,
+	// waiter list} plus transiently live+heap after a squash re-route, and
+	// the flags keep double insertion impossible.
+	inLive bool
+	inHeap bool
+
+	// lsqCleanGen caches a load's clean disambiguation verdict: while it
+	// equals Core.sqGen, the scan over older in-flight stores is known to
+	// find no overlap (and, conservatively, no unresolved address), so a
+	// retrying load skips it. Stores leaving the ring cannot dirty a clean
+	// verdict; a store issuing can (its now-known address may overlap), and
+	// that is exactly what bumps sqGen. Zero (the dispatch state) never
+	// matches: sqGen starts at one and counts up.
+	lsqCleanGen uint64
+
 	// Control flow.
 	mispredicted bool // fetch stalled on this instruction until resolution
 	serialize    bool // syscall: fetch resumes only after commit
+}
+
+// wakeEntry schedules a dispatched entry's next issue attempt: the ROB
+// slice index and the first cycle the entry could pass issue()'s per-entry
+// gates (Core.wakeHeap is a min-heap on at).
+type wakeEntry struct {
+	at  uint64
+	idx int32
 }
 
 // fetchedInst sits in the fetch buffer between fetch and rename.
@@ -170,6 +215,15 @@ type Core struct {
 	batchBuf           []isa.Inst
 	batchPos, batchLen int
 
+	// Arena fast path. When the stream is a *trace.Cursor, fetch consumes
+	// whole fetch groups straight from the arena's packed arrays
+	// (fetchArena): line-boundary and redirect checks become mask/flag
+	// tests on precomputed metadata and the predictors train once per
+	// group. fetchOps is the reusable scratch the group's control
+	// instructions are staged in for bpred.Unit.PredictGroup.
+	cursor   *trace.Cursor
+	fetchOps []bpred.Op
+
 	// Reorder buffer as a ring.
 	rob       []robEntry
 	robHead   int
@@ -178,33 +232,43 @@ type Core struct {
 	maxInsts  uint64
 
 	// Issue/complete fast-path bookkeeping. issList/issCount is the
-	// compact (unordered) list of ROB slice indices in stateIssued —
-	// complete()'s worklist, so its scan touches only entries that can
-	// transition instead of the whole ROB. neverStores counts issued
-	// stores whose completion time is still unknown (doneAt == never);
-	// nextDoneAt is a lower bound on the earliest completion among issued
-	// entries. complete skips its scan entirely on cycles where these
-	// prove nothing can transition, which is the common case during long
-	// miss shadows. Count-managed at full ROB capacity: no appends on the
-	// hot path.
-	issList     []int32
-	issCount    int
-	neverStores int
-	nextDoneAt  uint64
+	// compact (unordered) list of ROB slice indices in stateIssued with a
+	// scheduled (finite) completion — complete()'s worklist, so its scan
+	// touches only entries that can transition instead of the whole ROB.
+	// nextDoneAt is a lower bound on the earliest completion among listed
+	// entries; complete skips its scan entirely while it lies in the
+	// future, which is the common case during long miss shadows. An
+	// address-issued store whose data producer is unscheduled (doneAt ==
+	// never) stays off the list — it cannot complete — until the
+	// producer's publish finalises its doneAt and files it here
+	// (setDestReady), so unknown completions neither force nor pad a
+	// walk. Count-managed at full ROB capacity: no appends on the hot
+	// path.
+	issList    []int32
+	issCount   int
+	nextDoneAt uint64
 
-	// dispList is the compact program-ordered list of ROB slice indices in
-	// stateDispatched (the issue window's worklist). dispatch appends,
-	// issue() compacts after its passes; entries never re-enter
-	// stateDispatched, so the list is exact. It turns issue's and the skip
-	// gate's per-cycle full-ROB scans into walks over only the entries
-	// that can actually start. Count-managed at full ROB capacity: no
-	// appends on the hot path.
-	dispList  []int32
-	dispCount int
-
-	// dispStores counts dispList entries that are stores, gating issue's
-	// second (address-only) pass to cycles where it can find work.
-	dispStores int
+	// Two-tier issue worklist. liveList (non-stores) and liveStores
+	// (stores, which issue on address availability alone in a second
+	// pass) hold the program-ordered ROB slice indices of dispatched
+	// entries whose operand readiness has already arrived — the only
+	// entries issue()'s scans visit. Entries whose readiness (or address
+	// generation / divider turn) arrives at a known future cycle wait in
+	// wakeHeap, a binary min-heap keyed on that attempt time; drainWake
+	// moves them to the matching live list when the clock reaches it.
+	// Entries blocked on an unscheduled producer sit on that register's
+	// waiter list (intWaiter/fpWaiter) and rejoin through the publish in
+	// setDestReady. Heap times may go stale-early (a squash raises
+	// readiness, a divider busies up after the push) — the wake then just
+	// re-parks the entry, which is safe because a premature visit of an
+	// unready entry was always a no-op in the single-list scheme too. All
+	// three structures are count-managed at full ROB capacity: no appends
+	// on the hot path.
+	liveList       []int32
+	liveCount      int
+	liveStores     []int32
+	liveStoreCount int
+	wakeHeap       []wakeEntry
 
 	// Store-queue ring: the program-ordered ROB indices of every store
 	// between dispatch and commit. sqHead/sqTail are monotone positions
@@ -215,10 +279,22 @@ type Core struct {
 	sqRing         []int32
 	sqHead, sqTail uint64
 
+	// sqGen is the store-resolution generation backing robEntry.lsqCleanGen
+	// (bumped by issueStore, the only event that can dirty a clean
+	// disambiguation verdict). Starts at one so a zeroed cache never hits.
+	sqGen uint64
+
 	// Physical register files: readyAt per register, free lists.
 	intReady, fpReady []uint64
 	intFree, fpFree   []int16
 	intMap, fpMap     [32]int16
+
+	// Waiter lists: for each unpublished physical register, the dispatched
+	// entries whose readiness cache is parked at never waiting on it,
+	// singly linked through robEntry.waitNext (-1 terminates). setDestReady
+	// pops the destination's list and invalidates exactly those caches —
+	// that is what makes a cached never trustworthy between publishes.
+	intWaiter, fpWaiter []int32
 
 	// Issue-queue and load/store-queue occupancy (entries are tracked in
 	// the ROB itself; these counters model the finite structures).
@@ -227,6 +303,12 @@ type Core struct {
 
 	// Functional-unit availability.
 	intDivFreeAt, fpDivFreeAt uint64
+
+	// readyGen is the operand-readiness generation: bumped whenever a
+	// memory-order squash rewrites an already-published ready time, which
+	// is the only event that can move one. robEntry.readyCache values
+	// stamped with an older generation are recomputed on next read.
+	readyGen uint64
 
 	// Fetch state. The fetch buffer is a fixed-capacity ring (fbHead is
 	// the oldest entry, fbCount the occupancy) so steady-state fetch and
@@ -295,19 +377,33 @@ func New(cfg *config.Machine, stream trace.Stream) (*Core, error) {
 		pred:         pred,
 		stream:       stream,
 		rob:          make([]robEntry, cfg.Core.ROBEntries),
-		dispList:     make([]int32, cfg.Core.ROBEntries),
+		liveList:     make([]int32, cfg.Core.ROBEntries),
+		liveStores:   make([]int32, cfg.Core.StoreQueueEntries),
+		wakeHeap:     make([]wakeEntry, 0, cfg.Core.ROBEntries),
 		issList:      make([]int32, cfg.Core.ROBEntries),
 		sqRing:       make([]int32, pow2AtLeast(cfg.Core.StoreQueueEntries)),
 		fetchBuf:     make([]fetchedInst, 4*cfg.Core.FetchWidth),
 		nextDoneAt:   never,
 		curFetchLine: ^uint64(0),
+		sqGen:        1,
 	}
-	if b, ok := stream.(trace.Batcher); ok {
+	if cur, ok := stream.(*trace.Cursor); ok {
+		c.cursor = cur
+	} else if b, ok := stream.(trace.Batcher); ok {
 		c.batcher = b
 		c.batchBuf = make([]isa.Inst, streamChunk)
 	}
+	c.fetchOps = make([]bpred.Op, cfg.Core.FetchWidth)
 	c.intReady = make([]uint64, cfg.Core.IntPhysRegs)
 	c.fpReady = make([]uint64, cfg.Core.FPPhysRegs)
+	c.intWaiter = make([]int32, cfg.Core.IntPhysRegs)
+	c.fpWaiter = make([]int32, cfg.Core.FPPhysRegs)
+	for i := range c.intWaiter {
+		c.intWaiter[i] = -1
+	}
+	for i := range c.fpWaiter {
+		c.fpWaiter[i] = -1
+	}
 	// Architectural registers 0..31 map to physical 0..31 initially; the
 	// rest are free.
 	for i := 0; i < 32; i++ {
@@ -340,7 +436,10 @@ func (c *Core) Reset(stream trace.Stream) error {
 	c.stream = stream
 	c.cycle, c.seq = 0, 0
 	c.batcher = nil
-	if b, ok := stream.(trace.Batcher); ok {
+	c.cursor = nil
+	if cur, ok := stream.(*trace.Cursor); ok {
+		c.cursor = cur
+	} else if b, ok := stream.(trace.Batcher); ok {
 		c.batcher = b
 		if c.batchBuf == nil {
 			c.batchBuf = make([]isa.Inst, streamChunk)
@@ -350,13 +449,21 @@ func (c *Core) Reset(stream trace.Stream) error {
 	clear(c.rob)
 	c.robHead, c.robCount = 0, 0
 	c.committed, c.maxInsts = 0, 0
-	c.issCount, c.neverStores = 0, 0
+	c.issCount = 0
 	c.nextDoneAt = never
-	c.dispCount = 0
-	c.dispStores = 0
+	c.liveCount = 0
+	c.liveStoreCount = 0
+	c.wakeHeap = c.wakeHeap[:0]
 	c.sqHead, c.sqTail = 0, 0
+	c.sqGen = 1
 	clear(c.intReady)
 	clear(c.fpReady)
+	for i := range c.intWaiter {
+		c.intWaiter[i] = -1
+	}
+	for i := range c.fpWaiter {
+		c.fpWaiter[i] = -1
+	}
 	c.intFree = c.intFree[:0]
 	c.fpFree = c.fpFree[:0]
 	for i := 0; i < 32; i++ {
@@ -372,6 +479,7 @@ func (c *Core) Reset(stream trace.Stream) error {
 	c.intQCount, c.fpQCount = 0, 0
 	c.lqCount, c.sqCount = 0, 0
 	c.intDivFreeAt, c.fpDivFreeAt = 0, 0
+	c.readyGen = 0
 	clear(c.fetchBuf)
 	c.fbHead, c.fbCount = 0, 0
 	c.fetchBlockedTil = 0
@@ -474,6 +582,12 @@ func (c *Core) Run(opts Options) (*Result, error) {
 // streamChunk is how many instructions a batched stream refill pulls.
 const streamChunk = 128
 
+// StreamChunk is streamChunk for consumers sizing finite replay streams:
+// the core may pull up to one refill past the committed-instruction limit,
+// so a replayed trace needs this much slack beyond the budget to stay
+// indistinguishable from an endless generator.
+const StreamChunk = streamChunk
+
 // streamNext delivers the next stream instruction, through the chunk buffer
 // when the stream supports batching.
 //
@@ -499,12 +613,22 @@ func (c *Core) streamNext(in *isa.Inst) bool {
 //
 //portlint:hotpath
 func (c *Core) fbPush(f fetchedInst) {
+	*c.fbSlot() = f
+}
+
+// fbSlot reserves the next fetch-buffer slot and returns it for in-place
+// construction, sparing the arena fast path fbPush's whole-struct copy.
+// Callers must check fbCount < len(fetchBuf) first; slots are reused, so
+// every field must be (re)written.
+//
+//portlint:hotpath
+func (c *Core) fbSlot() *fetchedInst {
 	i := c.fbHead + c.fbCount
 	if n := len(c.fetchBuf); i >= n {
 		i -= n
 	}
-	c.fetchBuf[i] = f
 	c.fbCount++
+	return &c.fetchBuf[i]
 }
 
 // fbFront returns the oldest fetched instruction. Callers must check
@@ -704,20 +828,20 @@ func (c *Core) retire(e *robEntry) {
 }
 
 // complete promotes issued entries whose completion time has arrived.
-// Address-issued stores whose data producer was unscheduled at issue time
-// get their completion time finalised here once the producer schedules.
 //
 // The scan is skipped outright when the bookkeeping proves no entry can
-// transition this cycle: nothing is issued, or every issued entry has a
-// known completion time later than now. When it does run, it walks only
-// issList — the entries actually in stateIssued — and every transition it
-// performs is independent of the others (ready times are published at
-// issue, not completion), so the list's unordered visit is equivalent to
-// the ROB-ordered walk it replaces.
+// transition this cycle: nothing is issued, or every issued entry's
+// completion lies later than now (nextDoneAt; an address-issued store
+// whose completion is still unknown carries doneAt == never and is
+// finalised by its data producer's publish, not here). When the scan does
+// run, it walks only issList — the entries actually in stateIssued — and
+// every transition it performs is independent of the others (ready times
+// are published at issue, not completion), so the list's unordered visit
+// is equivalent to the ROB-ordered walk it replaces.
 //
 //portlint:hotpath
 func (c *Core) complete() {
-	if c.issCount == 0 || (c.neverStores == 0 && c.nextDoneAt > c.cycle) {
+	if c.issCount == 0 || c.nextDoneAt > c.cycle {
 		return
 	}
 	next := uint64(never)
@@ -725,12 +849,6 @@ func (c *Core) complete() {
 	for k := 0; k < c.issCount; k++ {
 		idx := c.issList[k]
 		e := &c.rob[idx]
-		if e.doneAt == never && e.inst.Class == isa.Store {
-			if d := c.storeDoneAt(e); d != never {
-				e.doneAt = d
-				c.neverStores--
-			}
-		}
 		if e.doneAt <= c.cycle {
 			e.state = stateDone
 			if e.mispredicted && c.stallSeq == e.seq && !e.serialize {
@@ -757,11 +875,16 @@ func (c *Core) complete() {
 //
 //portlint:hotpath
 func (c *Core) noteIssued(idx int32, doneAt uint64) {
+	if doneAt == never {
+		// Address-issued store awaiting its data producer: it cannot
+		// complete until the publish finalises doneAt, and setDestReady
+		// files it on the worklist at that moment. Listing it now would
+		// only pad every complete() walk in between.
+		return
+	}
 	c.issList[c.issCount] = idx
 	c.issCount++
-	if doneAt == never {
-		c.neverStores++
-	} else if doneAt < c.nextDoneAt {
+	if doneAt < c.nextDoneAt {
 		c.nextDoneAt = doneAt
 	}
 }

@@ -64,13 +64,12 @@ func (c *Core) nextEventCycle() uint64 {
 	// Completions: nextDoneAt is the exact minimum completion time among
 	// issued entries (noteIssued and complete() maintain it). Address-
 	// issued stores whose completion is still unscheduled (doneAt ==
-	// never) need no candidate of their own: such a store's data producer
-	// is either still dispatched — its attemptAt below is the wake-up — or
-	// already issued, in which case the producer's own doneAt sits in
-	// nextDoneAt and the store is finalised by the complete() walk that
-	// runs at that wake-up (neverStores > 0 forces the walk), strictly
-	// before the store's eventual completion time. Either way the machine
-	// wakes no later than anything the store could do.
+	// never) need no candidate of their own: such a store is parked on
+	// its data producer's waiter list, and the producer — necessarily
+	// still dispatched, since issuing publishes — carries the wake-up
+	// through its own worklist placement below. The publish at its issue
+	// finalises the store's doneAt into nextDoneAt on the spot, so the
+	// machine wakes no later than anything the store could do.
 	if c.issCount > 0 && c.nextDoneAt != never {
 		if c.nextDoneAt <= now {
 			return now
@@ -79,10 +78,14 @@ func (c *Core) nextEventCycle() uint64 {
 			next = c.nextDoneAt
 		}
 	}
-	// Dispatched entries first attempt issue at attemptAt. A `never` means
-	// the entry waits on a producer that carries its own event.
-	for k := 0; k < c.dispCount; k++ {
-		t := c.attemptAt(&c.rob[c.dispList[k]])
+	// Dispatched entries first attempt issue at attemptAt. Only the live
+	// lists need exact per-entry times: wake-heap entries carry a
+	// conservative attempt time as their key (the top bounds them all),
+	// and waiter-parked entries wait on a producer that carries its own
+	// event.
+	for k := 0; k < c.liveCount; k++ {
+		idx := c.liveList[k]
+		t := c.attemptAt(&c.rob[idx], idx)
 		if t == never {
 			continue
 		}
@@ -90,6 +93,26 @@ func (c *Core) nextEventCycle() uint64 {
 			return now
 		}
 		if t < next {
+			next = t
+		}
+	}
+	for k := 0; k < c.liveStoreCount; k++ {
+		idx := c.liveStores[k]
+		t := c.attemptAt(&c.rob[idx], idx)
+		if t == never {
+			continue
+		}
+		if t <= now {
+			return now
+		}
+		if t < next {
+			next = t
+		}
+	}
+	if len(c.wakeHeap) > 0 {
+		if t := c.wakeHeap[0].at; t <= now {
+			return now
+		} else if t < next {
 			next = t
 		}
 	}
@@ -120,43 +143,12 @@ func (c *Core) nextEventCycle() uint64 {
 // the entry waits on an unscheduled producer.
 //
 //portlint:hotpath
-func (c *Core) attemptAt(e *robEntry) uint64 {
-	in := &e.inst
-	switch in.Class {
-	case isa.Load:
-		ops := c.operandsReadyAt(e)
-		if ops == never {
-			return never
-		}
-		return agenDoneAt(e, ops, c.cfg.Lat.AGen)
-	case isa.Store:
-		// Stores issue on the address operand alone.
-		addr := c.srcReadyAt(in.Src1, e.src1Phys)
-		if addr == never {
-			return never
-		}
-		return agenDoneAt(e, addr, c.cfg.Lat.AGen)
-	case isa.IntMul, isa.IntDiv:
-		ops := c.operandsReadyAt(e)
-		if ops == never {
-			return never
-		}
-		if c.intDivFreeAt > ops {
-			ops = c.intDivFreeAt
-		}
-		return ops
-	case isa.FPMul, isa.FPDiv:
-		ops := c.operandsReadyAt(e)
-		if ops == never {
-			return never
-		}
-		if c.fpDivFreeAt > ops {
-			ops = c.fpDivFreeAt
-		}
-		return ops
-	default:
-		return c.operandsReadyAt(e)
+func (c *Core) attemptAt(e *robEntry, idx int32) uint64 {
+	ready := c.readyAt(e, idx) // operand readiness (address-only for stores)
+	if ready == never {
+		return never
 	}
+	return c.attemptTime(e, ready)
 }
 
 // skipTo fast-forwards the clock from c.cycle to target, applying the

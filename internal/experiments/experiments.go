@@ -847,11 +847,7 @@ func A6Multiprogramming(r *Runner) ([]A6Row, *stats.Table, error) {
 	for _, n := range levels {
 		for _, m := range machines {
 			cells = append(cells, func() (*cpu.Result, error) {
-				mp, err := workload.NewMultiprogram(prof, n, quantum, r.Spec().Seed)
-				if err != nil {
-					return nil, err
-				}
-				return r.runStream(m, mp, fmt.Sprintf("compress-x%d", n))
+				return r.runMultiprogram(m, prof, n, quantum, fmt.Sprintf("compress-x%d", n))
 			})
 		}
 	}

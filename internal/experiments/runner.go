@@ -57,6 +57,13 @@ type Spec struct {
 	// table-neutral by construction; this escape hatch exists for the CI
 	// byte-identity diff and for timing forensics.
 	NoSkip bool
+	// ArenaBudget bounds the shared trace-arena registry in bytes: each
+	// (profile, seed) dynamic trace is materialised once and replayed by
+	// every cell that needs it, falling back to live generation for cells
+	// the budget cannot hold. Zero selects DefaultArenaBudget; negative
+	// disables arenas entirely. Tables are byte-identical at any setting —
+	// replay and live generation produce the same instruction stream.
+	ArenaBudget int64
 }
 
 // TraceSpec names the one cell whose pipeline events a campaign captures.
@@ -180,6 +187,10 @@ type Runner struct {
 	traceMu    sync.Mutex
 	traceArmed bool
 	traceCap   *TraceCapture
+
+	// arenas is the shared trace-arena registry (see arena.go); nil when
+	// disabled by Spec.ArenaBudget or an unbounded instruction budget.
+	arenas *arenaRegistry
 }
 
 // NewRunner returns a runner for the spec.
@@ -188,12 +199,21 @@ func NewRunner(spec Spec) *Runner {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
+	r := &Runner{
 		spec:     spec,
 		parallel: parallel,
 		cache:    make(map[string]*memoEntry),
 		pool:     make(map[string][]*cpu.Core),
 	}
+	budget := spec.ArenaBudget
+	if budget == 0 {
+		budget = DefaultArenaBudget
+	}
+	// An unbounded run (Insts == 0) cannot size arenas, so it streams live.
+	if budget > 0 && spec.Insts > 0 {
+		r.arenas = newArenaRegistry(budget)
+	}
+	return r
 }
 
 // Spec returns the runner's spec.
@@ -375,13 +395,18 @@ func (r *Runner) runWorkload(m config.Machine, workloadName string) (*cpu.Result
 }
 
 // runProfile simulates an explicit profile (used by the kernel-intensity
-// sweep, which mutates profiles); results are not memoised.
+// sweep, which mutates profiles); results are not memoised. The stream is
+// an arena cursor when the registry holds this trace, the live generator
+// otherwise — identical instruction sequences either way.
 func (r *Runner) runProfile(m config.Machine, prof workload.Profile) (*cpu.Result, error) {
-	gen, err := workload.New(prof, r.spec.Seed)
+	stream, release, err := r.profileStream(prof, r.spec.Seed)
 	if err != nil {
 		return nil, err
 	}
-	res, err := r.runStream(m, gen, prof.Name)
+	if release != nil {
+		defer release()
+	}
+	res, err := r.runStream(m, stream, prof.Name)
 	if err != nil {
 		// The profile is ad hoc (no workload.ByName entry), so a repro
 		// bundle must carry it verbatim.

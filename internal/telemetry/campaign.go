@@ -206,6 +206,8 @@ type ManifestInfo struct {
 	// Store is the durable-store summary, nil when the campaign ran
 	// without one.
 	Store *ManifestStore
+	// Arenas is the trace-arena summary, nil when arenas were disabled.
+	Arenas *ManifestArenas
 }
 
 // BuildManifest assembles the manifest from the accumulated cells. Cells
@@ -267,6 +269,7 @@ func (c *Campaign) BuildManifest(info ManifestInfo) *Manifest {
 		TraceOut:    info.TraceOut,
 		Bundles:     info.Bundles,
 		Store:       info.Store,
+		Arenas:      info.Arenas,
 		Cells:       cells,
 		Totals:      totals,
 	}

@@ -89,6 +89,10 @@ type Manifest struct {
 	// one (-store); nil otherwise.
 	Store *ManifestStore `json:"store,omitempty"`
 
+	// Arenas summarises the shared trace-arena registry when the campaign
+	// replayed materialised traces; nil when arenas were disabled.
+	Arenas *ManifestArenas `json:"arenas,omitempty"`
+
 	Cells  []ManifestCell `json:"cells"`
 	Totals ManifestTotals `json:"totals"`
 }
@@ -113,6 +117,29 @@ type ManifestStore struct {
 	// Degraded marks a store that shut itself off mid-campaign; the run
 	// completed store-less.
 	Degraded bool `json:"degraded,omitempty"`
+}
+
+// ManifestArenas records the shared trace-arena registry's behaviour over
+// a campaign: how many traces were materialised (generate-once), how often
+// cells replayed them, and how often the byte budget forced a cell back to
+// live generation. Arenas never change results — every table is
+// byte-identical with arenas on or off — so this section is purely a
+// performance record.
+type ManifestArenas struct {
+	// BudgetBytes is the registry's configured ceiling (-arena-budget).
+	BudgetBytes int64 `json:"budget_bytes"`
+	// Count and Bytes describe residency at campaign end.
+	Count int   `json:"count"`
+	Bytes int64 `json:"bytes"`
+	// Builds counts traces materialised; Hits counts acquisitions served
+	// from an already-built arena.
+	Builds uint64 `json:"builds"`
+	Hits   uint64 `json:"hits"`
+	// Fallbacks counts acquisitions that ran from live generation because
+	// the budget had no room; Evictions counts idle arenas dropped to make
+	// room.
+	Fallbacks uint64 `json:"fallbacks,omitempty"`
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
 // HashConfig fingerprints one machine-configuration JSON document. The
@@ -200,6 +227,23 @@ func (m *Manifest) Validate() error {
 		}
 	} else if m.Totals.StoreHits != 0 {
 		return fmt.Errorf("manifest: %d store-hit cells without a store summary", m.Totals.StoreHits)
+	}
+	if a := m.Arenas; a != nil {
+		if a.BudgetBytes <= 0 {
+			return fmt.Errorf("manifest: arena summary with budget %d, want > 0", a.BudgetBytes)
+		}
+		if a.Count < 0 || a.Bytes < 0 {
+			return fmt.Errorf("manifest: negative arena residency (count %d, bytes %d)", a.Count, a.Bytes)
+		}
+		if a.Bytes > a.BudgetBytes {
+			return fmt.Errorf("manifest: arena residency %d bytes exceeds budget %d", a.Bytes, a.BudgetBytes)
+		}
+		if a.Count > 0 && a.Bytes == 0 {
+			return fmt.Errorf("manifest: %d resident arenas occupying zero bytes", a.Count)
+		}
+		if uint64(a.Count) > a.Builds {
+			return fmt.Errorf("manifest: %d resident arenas but only %d builds", a.Count, a.Builds)
+		}
 	}
 	return nil
 }

@@ -272,6 +272,54 @@ func TestManifestStoreValidation(t *testing.T) {
 	}
 }
 
+// TestManifestArenasSummary: the trace-arena summary survives the round
+// trip and the validator rejects the implausible shapes.
+func TestManifestArenasSummary(t *testing.T) {
+	info := sampleInfo()
+	info.Arenas = &ManifestArenas{
+		BudgetBytes: 512 << 20, Count: 2, Bytes: 61_440,
+		Builds: 2, Hits: 9, Fallbacks: 1, Evictions: 0,
+	}
+	m := sampleCampaign().BuildManifest(info)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("built manifest invalid: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "MANIFEST.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arenas == nil || *got.Arenas != *info.Arenas {
+		t.Errorf("arena summary drifted: %+v", got.Arenas)
+	}
+
+	fresh := func() *Manifest {
+		i := sampleInfo()
+		i.Arenas = &ManifestArenas{BudgetBytes: 1 << 20, Count: 1, Bytes: 100, Builds: 1, Hits: 3}
+		return sampleCampaign().BuildManifest(i)
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*ManifestArenas)
+		want    string
+	}{
+		{"zero budget", func(a *ManifestArenas) { a.BudgetBytes = 0 }, "budget"},
+		{"over budget", func(a *ManifestArenas) { a.Bytes = 2 << 20 }, "exceeds budget"},
+		{"count without bytes", func(a *ManifestArenas) { a.Bytes = 0 }, "zero bytes"},
+		{"count over builds", func(a *ManifestArenas) { a.Count = 5 }, "only 1 builds"},
+	}
+	for _, c := range cases {
+		m := fresh()
+		c.corrupt(m.Arenas)
+		if err := m.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s accepted: %v", c.name, err)
+		}
+	}
+}
+
 func TestWriteManifestRefusesInvalid(t *testing.T) {
 	m := sampleCampaign().BuildManifest(sampleInfo())
 	m.Schema = "nope"

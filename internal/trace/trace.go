@@ -95,6 +95,8 @@ type Tee struct {
 func NewTee(inner Stream) *Tee { return &Tee{inner: inner} }
 
 // Next implements Stream.
+//
+//portlint:coldpath Tee is a test-capture wrapper; campaigns never put one on the simulated path, so its growing append is not per-cycle work
 func (t *Tee) Next(in *isa.Inst) bool {
 	if !t.inner.Next(in) {
 		return false
@@ -249,6 +251,8 @@ func (r *Reader) readHeader() error {
 
 // Next implements Stream. On malformed input it stops the stream and
 // records the error, retrievable via Err.
+//
+//portlint:coldpath file-trace decode is cmd/tracegen tooling, I/O-bound by construction; experiment campaigns stream from generators or arenas, never through a Reader
 func (r *Reader) Next(in *isa.Inst) bool {
 	if r.err != nil {
 		return false

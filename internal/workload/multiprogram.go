@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"portsim/internal/isa"
+	"portsim/internal/trace"
 )
 
 // KernelCodeBase is the lowest kernel address; everything below it belongs
@@ -18,6 +19,12 @@ const KernelCodeBase uint64 = kernelCodeBase
 // alias in caches or TLBs.
 const processStride uint64 = 1 << 33
 
+// SeedStride separates the per-process generator seeds of a multiprogrammed
+// workload: process i runs with seed + i*SeedStride. Exported so the arena
+// registry in internal/experiments can materialise per-process traces whose
+// replay is instruction-identical to NewMultiprogram's live generators.
+const SeedStride int64 = 7919
+
 // Multiprogram interleaves N independent instances of a profile, switching
 // between them on an exponentially distributed quantum — the
 // multiprogrammed behaviour of the paper's pmake-style workloads, where
@@ -30,7 +37,7 @@ const processStride uint64 = 1 << 33
 // single coherent control-flow walk across switch boundaries — exactly like
 // a trace that includes interrupts.
 type Multiprogram struct {
-	procs   []*Generator
+	procs   []procStream
 	offsets []uint64
 	rng     *rand.Rand
 
@@ -43,6 +50,13 @@ type Multiprogram struct {
 	switchPending bool
 	emitted       uint64
 	switches      uint64
+}
+
+// procStream is the per-process instruction source the interleaver pulls
+// from: a live Generator, or an arena replay cursor whose contents must be
+// the identical dynamic trace.
+type procStream interface {
+	Next(in *isa.Inst) bool
 }
 
 // NewMultiprogram builds a multiprogrammed stream of `processes` instances
@@ -59,11 +73,40 @@ func NewMultiprogram(prof Profile, processes, quantumMean int, seed int64) (*Mul
 		quantumMean: quantumMean,
 	}
 	for i := 0; i < processes; i++ {
-		g, err := New(prof, seed+int64(i)*7919)
+		g, err := New(prof, seed+int64(i)*SeedStride)
 		if err != nil {
 			return nil, err
 		}
 		m.procs = append(m.procs, g)
+		m.offsets = append(m.offsets, uint64(i)*processStride)
+	}
+	m.left = m.drawQuantum()
+	return m, nil
+}
+
+// NewMultiprogramReplay builds the same interleaved stream as
+// NewMultiprogram, but over pre-materialised per-process traces instead of
+// live generators. Cursor i must replay the dynamic trace of
+// New(prof, seed+int64(i)*SeedStride) — the arena registry in
+// internal/experiments guarantees this — and the quantum schedule is drawn
+// from the same seeded source as the live constructor's, so the interleave
+// is instruction-identical until a cursor runs out. Cursors are finite:
+// unlike live generators the replay ends (Next returns false) when the
+// current process's trace is exhausted, so callers must size the arenas
+// past the instruction budget they will consume.
+func NewMultiprogramReplay(procs []*trace.Cursor, quantumMean int, seed int64) (*Multiprogram, error) {
+	if len(procs) < 1 {
+		return nil, fmt.Errorf("workload: need at least one process")
+	}
+	if quantumMean < 100 {
+		return nil, fmt.Errorf("workload: quantum %d too short to be meaningful", quantumMean)
+	}
+	m := &Multiprogram{
+		rng:         rand.New(rand.NewSource(seed)),
+		quantumMean: quantumMean,
+	}
+	for i, c := range procs {
+		m.procs = append(m.procs, c)
 		m.offsets = append(m.offsets, uint64(i)*processStride)
 	}
 	m.left = m.drawQuantum()
@@ -124,10 +167,13 @@ func (m *Multiprogram) Next(in *isa.Inst) bool {
 
 // NextBatch implements trace.Batcher; see Generator.NextBatch. The quantum
 // countdown and switch markers run inside the loop exactly as they would
-// across individual Next calls.
+// across individual Next calls. A short count only happens on replayed
+// (finite) process streams; live generators never end.
 func (m *Multiprogram) NextBatch(dst []isa.Inst) int {
 	for i := range dst {
-		m.Next(&dst[i])
+		if !m.Next(&dst[i]) {
+			return i
+		}
 	}
 	return len(dst)
 }
