@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"portsim/internal/cpustack"
 	"portsim/internal/telemetry"
 )
 
@@ -61,6 +62,23 @@ func summarise(out io.Writer, path string, m *telemetry.Manifest) {
 		m.Totals.Cells, m.Totals.Cells-m.Totals.MemoHits-m.Totals.StoreHits-m.Totals.Failed,
 		m.Totals.MemoHits, m.Totals.StoreHits,
 		m.Totals.Failed, m.Totals.SimCycles, m.Totals.SimInsts, m.Totals.WallSeconds)
+	if len(m.CPIStack) > 0 {
+		// Render the aggregate CPI stack in taxonomy order, as percentages
+		// of the simulated-cycle total the buckets partition.
+		var total uint64
+		for _, v := range m.CPIStack {
+			total += v
+		}
+		fmt.Fprint(out, "  cpi stack:")
+		for b := cpustack.Bucket(0); b < cpustack.NumBuckets; b++ {
+			v, ok := m.CPIStack[b.String()]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(out, " %s %.1f%%", b, 100*float64(v)/float64(total))
+		}
+		fmt.Fprintln(out)
+	}
 	if s := m.Store; s != nil {
 		fmt.Fprintf(out, "  store %s: %d restored, %d simulated, %d written, %d quarantined",
 			s.Dir, s.Hits, s.Misses, s.Puts, s.Quarantined)

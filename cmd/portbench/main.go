@@ -8,7 +8,7 @@
 //	          [-parallel n] [-arena-budget size] [-progress[=rich|plain]] [-flightrec]
 //	          [-inject mode:workload[:after]] [-repro-dir dir]
 //	          [-store dir] [-resume] [-inject-store mode[:rate]]
-//	          [-listen addr] [-manifest path] [-hold d]
+//	          [-cpistack] [-listen addr] [-manifest path] [-hold d]
 //	          [-trace-out path] [-trace-cell workload@machine] [-trace-depth n]
 //	portbench -repro bundle.json
 //
@@ -42,10 +42,14 @@
 //
 // Observability (all opt-in, see README.md "Observability"): -listen
 // serves live campaign metrics over HTTP (/metrics Prometheus text,
-// /vars JSON, /healthz); -manifest writes a portsim-manifest/v1 run
-// manifest; -trace-out captures one cell's pipeline events as a Chrome
-// trace-event JSON for Perfetto. Tables are byte-identical whether any
-// of these are on or off.
+// /vars JSON, /healthz, /campaign live campaign status, /debug/pprof
+// runtime profiles with per-cell labels); -manifest writes a
+// portsim-manifest/v1 run manifest; -trace-out captures one cell's
+// pipeline events as a Chrome trace-event JSON for Perfetto; -cpistack
+// arms per-cell cycle accounting (CPI stacks: a table after the suite,
+// cpi_stack sections in the manifest, portsim_cpi_* series on /metrics,
+// a cpi counter track in the Perfetto trace). Tables are byte-identical
+// whether any of these are on or off.
 package main
 
 import (
@@ -93,7 +97,9 @@ func run(args []string, out io.Writer) error {
 		resume      = fs.Bool("resume", false, "resume a previous campaign from -store (the store directory must already exist)")
 		injectStore = fs.String("inject-store", "", "inject store failures: mode[:rate] with mode torn|corrupt|ioerr, rate in (0,1]")
 
-		listen     = fs.String("listen", "", "serve live campaign metrics over HTTP on this address (/metrics, /vars, /healthz)")
+		cpistack = fs.Bool("cpistack", false, "collect per-cell cycle-accounting CPI stacks: table after the suite, cpi_stack in -manifest, portsim_cpi_* on /metrics; tables are byte-identical either way")
+
+		listen     = fs.String("listen", "", "serve live campaign metrics over HTTP on this address (/metrics, /vars, /healthz, /campaign, /debug/pprof)")
 		manifest   = fs.String("manifest", "", "write a portsim-manifest/v1 run manifest (JSON) to this path")
 		hold       = fs.Duration("hold", 0, "keep the -listen endpoint up this long after the suite finishes")
 		traceOut   = fs.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto) of one cell to this path")
@@ -125,6 +131,7 @@ func run(args []string, out io.Writer) error {
 	spec.Parallel = *parallel
 	spec.FlightRecorder = *flightrec
 	spec.NoSkip = *noSkip
+	spec.CPIStack = *cpistack
 	budget, err := experiments.ParseArenaBudget(*arena)
 	if err != nil {
 		return err
@@ -235,7 +242,7 @@ func run(args []string, out io.Writer) error {
 	// Telemetry is strictly opt-in: with every flag off the runner's
 	// observer slot stays nil and no campaign state exists at all.
 	var sink *telemetrySink
-	if progress != progressOff || *listen != "" || *manifest != "" || *traceOut != "" {
+	if progress != progressOff || *listen != "" || *manifest != "" || *traceOut != "" || *cpistack {
 		ids := make([]string, 0, len(suite))
 		for _, e := range suite {
 			ids = append(ids, e.id)
@@ -257,6 +264,7 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		ranIDs = append(ranIDs, e.id)
+		runner.SetExperiment(e.id)
 		bench.begin()
 		table, err := e.run()
 		bench.end(e.id)
@@ -391,6 +399,17 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("manifest: %w", err)
 		}
 		fmt.Fprintf(out, "manifest written: %s\n", *manifest)
+	}
+	// The CPI table is deliberately the last output: byte-identity checks
+	// between -cpistack on and off strip it with one sed range anchored on
+	// the "CPI stacks" title line.
+	if *cpistack {
+		table := sink.cpiTable()
+		if *csv {
+			fmt.Fprintln(out, table.CSV())
+		} else {
+			fmt.Fprintln(out, table.String())
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d experiment(s) failed (%s) with %d distinct cell failure(s)",

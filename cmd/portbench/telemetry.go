@@ -1,9 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -11,6 +14,7 @@ import (
 	"portsim/internal/cellstore"
 	"portsim/internal/config"
 	"portsim/internal/core"
+	"portsim/internal/cpustack"
 	"portsim/internal/experiments"
 	"portsim/internal/stats"
 	"portsim/internal/telemetry"
@@ -90,6 +94,9 @@ func cellSample(ev experiments.CellEvent) telemetry.CellSample {
 		WallSeconds:     ev.WallSeconds,
 		PortUtilization: -1,
 		PortRejectRate:  -1,
+		// Set even for failed cells: a wedged cell's partial stack is the
+		// diagnosis (which bucket ate the cycles before the watchdog fired).
+		CPIStack: ev.CPIStack,
 	}
 	if ev.Err != nil {
 		s.Failed = true
@@ -128,6 +135,19 @@ type telemetrySink struct {
 	traceMachine  string
 	laneMu        sync.Mutex
 	traceLanes    int
+
+	// cpiRows collects each distinct cell's frozen CPI stack for the
+	// end-of-run table (-cpistack). Memo hits are skipped — the first
+	// delivery of a cell already captured it.
+	cpiMu   sync.Mutex
+	cpiRows map[string]cpiRow
+}
+
+// cpiRow is one line of the CPI-stack table.
+type cpiRow struct {
+	workload, machine, hash string
+	failed                  bool
+	snap                    *cpustack.Snapshot
 }
 
 // newTelemetrySink wires the campaign metrics, the runner's cell
@@ -138,7 +158,11 @@ func newTelemetrySink(runner *experiments.Runner, spec experiments.Spec,
 	planned int, mode progressMode, listen string, store *cellstore.Store) (*telemetrySink, error) {
 	reg := telemetry.NewRegistry()
 	sink := &telemetrySink{
-		camp: telemetry.NewCampaign(reg, planned),
+		camp:    telemetry.NewCampaign(reg, planned),
+		cpiRows: make(map[string]cpiRow),
+	}
+	if spec.CPIStack {
+		sink.camp.EnableCPIStack(reg)
 	}
 	if store != nil {
 		reg.GaugeFunc("portsim_store_quarantined_total",
@@ -178,6 +202,18 @@ func newTelemetrySink(runner *experiments.Runner, spec experiments.Spec,
 				st, _ := runner.ArenaStats()
 				return float64(st.Fallbacks)
 			})
+		reg.GaugeFunc("portsim_arena_evictions_total",
+			"Idle trace arenas dropped to make room under the byte budget.",
+			func() float64 {
+				st, _ := runner.ArenaStats()
+				return float64(st.Evictions)
+			})
+		reg.GaugeFunc("portsim_arena_budget_bytes",
+			"Configured trace-arena byte budget.",
+			func() float64 {
+				st, _ := runner.ArenaStats()
+				return float64(st.Budget)
+			})
 	}
 	sink.printer = newProgressPrinter(mode, os.Stderr, planned, sink.camp)
 	if spec.Trace != nil {
@@ -187,14 +223,25 @@ func newTelemetrySink(runner *experiments.Runner, spec experiments.Spec,
 	runner.SetCellObserver(func(ev experiments.CellEvent) {
 		s := cellSample(ev)
 		sink.noteLanes(s)
+		sink.noteCPI(s)
 		sink.camp.CellDone(s)
 		sink.printer.cellDone(s)
 	}, time.Now)
+	runner.SetCellStartObserver(func(cs experiments.CellStart) {
+		sink.camp.CellStarted(telemetry.CellStartSample{
+			Machine:    cs.Machine,
+			Workload:   cs.Workload,
+			ConfigJSON: cs.ConfigJSON,
+			Experiment: cs.Experiment,
+			Stack:      cs.Stack,
+		})
+	})
 	if listen != "" {
 		srv, err := telemetry.Serve(listen, reg)
 		if err != nil {
 			return nil, fmt.Errorf("telemetry: %w", err)
 		}
+		srv.SetCampaign(sink.camp)
 		sink.srv = srv
 		fmt.Fprintf(os.Stderr, "telemetry: listening on %s\n", srv.Addr())
 		if testListenHook != nil {
@@ -202,6 +249,70 @@ func newTelemetrySink(runner *experiments.Runner, spec experiments.Spec,
 		}
 	}
 	return sink, nil
+}
+
+// noteCPI records a cell's frozen CPI stack for the end-of-run table. A
+// memo hit re-delivers a stack the first delivery already recorded; a
+// store hit restores one from a previous campaign and is kept.
+func (t *telemetrySink) noteCPI(s telemetry.CellSample) {
+	if s.CPIStack == nil || s.MemoHit {
+		return
+	}
+	key := s.Workload + "\x00" + s.Machine + "\x00" + telemetry.HashConfig(s.ConfigJSON)
+	t.cpiMu.Lock()
+	t.cpiRows[key] = cpiRow{
+		workload: s.Workload,
+		machine:  s.Machine,
+		hash:     telemetry.HashConfig(s.ConfigJSON),
+		failed:   s.Failed,
+		snap:     s.CPIStack,
+	}
+	t.cpiMu.Unlock()
+}
+
+// cpiTable renders the collected stacks, one row per distinct cell sorted
+// by (workload, machine, config hash), one percentage column per bucket.
+// The title line starts with "CPI stacks" so byte-identity comparisons can
+// strip the block with a single sed range.
+func (t *telemetrySink) cpiTable() *stats.Table {
+	t.cpiMu.Lock()
+	rows := make([]cpiRow, 0, len(t.cpiRows))
+	for _, r := range t.cpiRows {
+		rows = append(rows, r)
+	}
+	t.cpiMu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.workload != b.workload {
+			return a.workload < b.workload
+		}
+		if a.machine != b.machine {
+			return a.machine < b.machine
+		}
+		return a.hash < b.hash
+	})
+	header := []string{"workload", "machine", "cycles"}
+	for b := cpustack.Bucket(0); b < cpustack.NumBuckets; b++ {
+		header = append(header, b.String())
+	}
+	tbl := stats.NewTable("CPI stacks: % of simulated cycles per attribution bucket", header...)
+	for _, r := range rows {
+		total := r.snap.Total()
+		machine := r.machine
+		if r.failed {
+			machine += " (failed)"
+		}
+		cells := []string{r.workload, machine, strconv.FormatUint(total, 10)}
+		for b := cpustack.Bucket(0); b < cpustack.NumBuckets; b++ {
+			if total == 0 {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, stats.Percent(float64(r.snap.Get(b))/float64(total)))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
 }
 
 // noteLanes remembers the traced cell's port slots per cycle, which
@@ -230,7 +341,9 @@ func (t *telemetrySink) lanes() int {
 
 // close shuts the metrics endpoint down, first holding it open for the
 // requested grace period so external scrapers (CI smoke tests, a curl in
-// another terminal) can observe the finished campaign.
+// another terminal) can observe the finished campaign. Shutdown is
+// graceful: a scrape in flight at the end of the hold completes rather
+// than seeing a reset connection.
 func (t *telemetrySink) close(hold time.Duration) {
 	if t == nil || t.srv == nil {
 		return
@@ -239,7 +352,11 @@ func (t *telemetrySink) close(hold time.Duration) {
 		fmt.Fprintf(os.Stderr, "telemetry: holding metrics endpoint for %s\n", hold)
 		time.Sleep(hold)
 	}
-	t.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := t.srv.Shutdown(ctx); err != nil {
+		t.srv.Close()
+	}
 }
 
 // writeTrace converts the runner's captured flight-recorder events into

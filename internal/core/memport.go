@@ -668,3 +668,15 @@ func (p *MemPort) Rejects() (portBusy, mshr, storeConflict uint64) {
 // BankConflicts returns the number of accesses refused because their bank
 // was busy (banked configurations only).
 func (p *MemPort) BankConflicts() uint64 { return p.rejects[RejectBankConflict] }
+
+// RejectBreakdown returns the cumulative refusal counters split the way
+// the cycle-accounting layer attributes them: MSHR exhaustion (a
+// memory-system limit) versus every structural port refusal (port busy,
+// bank conflict, overlapping buffered store). Reading two words per cycle
+// keeps the armed accounting path allocation-free.
+//
+//portlint:hotpath
+func (p *MemPort) RejectBreakdown() (mshr, structural uint64) {
+	return p.rejects[RejectMSHR],
+		p.rejects[RejectPortBusy] + p.rejects[RejectBankConflict] + p.rejects[RejectStoreConflict]
+}

@@ -25,6 +25,7 @@ import (
 	"portsim/internal/bpred"
 	"portsim/internal/config"
 	"portsim/internal/core"
+	"portsim/internal/cpustack"
 	"portsim/internal/diag"
 	"portsim/internal/isa"
 	"portsim/internal/mem"
@@ -151,6 +152,17 @@ type Options struct {
 	// the reference timeline the equivalence tests and the CI table diff
 	// compare against.
 	NoSkip bool
+	// CPIStack, when non-nil, arms cycle accounting: every simulated
+	// cycle is attributed to exactly one cpustack bucket (see acct.go for
+	// the precedence order), and Run verifies the conservation law —
+	// bucket sum == cycle count — before returning. The stack is caller-
+	// owned so a live observer (the /campaign endpoint) can snapshot it
+	// mid-run; Result.CPIStack carries the final frozen stack. Accounting
+	// does not disable cycle skipping: the gap classifier reproduces the
+	// stepped attribution exactly, so the stack, like every counter, is
+	// byte-identical with skip on or off. A nil stack costs one pointer
+	// test per stepped cycle and nothing inside step().
+	CPIStack *cpustack.Stack
 }
 
 // DefaultStallCycles is the watchdog threshold the experiment engine arms.
@@ -192,6 +204,11 @@ type Result struct {
 	IPC float64
 	// Counters carries every detailed statistic (port.*, cache.*, ...).
 	Counters *stats.Set
+	// CPIStack is the frozen cycle-attribution stack, nil unless
+	// Options.CPIStack armed accounting. Kept out of Counters so every
+	// existing table and stored counter row stays byte-identical with
+	// accounting on or off.
+	CPIStack *cpustack.Snapshot
 }
 
 // Core is the simulated processor plus its memory system.
@@ -332,6 +349,12 @@ type Core struct {
 
 	// rec is the optional flight recorder (nil when disabled).
 	rec *diag.Recorder
+
+	// acct is the optional cycle-attribution stack (nil when disabled);
+	// lastBucket tracks the previous classification so a traced cell
+	// records an EventCPI only on transitions. See acct.go.
+	acct       *cpustack.Stack
+	lastBucket cpustack.Bucket
 
 	// Statistics.
 	loads, stores, branches, mispredicts uint64
@@ -492,6 +515,8 @@ func (c *Core) Reset(stream trace.Stream) error {
 	c.wrongPathPC, c.wrongPathLines = 0, 0
 	c.lastCommitSeq = 0
 	c.rec = nil
+	c.acct = nil
+	c.lastBucket = cpustack.NumBuckets
 	c.loads, c.stores, c.branches, c.mispredicts = 0, 0, 0, 0
 	c.memViolations, c.lsqForwards = 0, 0
 	c.userInsts, c.kernelInsts = 0, 0
@@ -536,10 +561,13 @@ func (c *Core) Run(opts Options) (*Result, error) {
 	c.maxInsts = opts.MaxInstructions
 	c.rec = opts.Recorder
 	c.port.SetRecorder(opts.Recorder)
+	c.acct = opts.CPIStack
+	c.lastBucket = cpustack.NumBuckets // invalid: the first classification always records
 	skip := !opts.NoSkip && opts.Recorder == nil
 	lastProgress := c.cycle
 	lastCommitted := c.committed
 	steps := uint64(0) // stepped events since the last commit
+	var snap acctSnap
 	for {
 		if c.drained() {
 			break
@@ -552,7 +580,13 @@ func (c *Core) Run(opts Options) (*Result, error) {
 			return nil, fmt.Errorf("%w (no commit since cycle %d; now cycle %d after %d stepped events, committed %d): %s",
 				ErrStall, lastProgress, c.cycle, steps, c.committed, c.StallDiagnosis())
 		}
-		c.step()
+		if c.acct == nil {
+			c.step()
+		} else {
+			c.acctBegin(&snap)
+			c.step()
+			c.acctStep(&snap)
+		}
 		steps++
 		if c.committed != lastCommitted {
 			lastCommitted = c.committed
@@ -569,11 +603,21 @@ func (c *Core) Run(opts Options) (*Result, error) {
 			}
 		}
 	}
-	// Account the final store-buffer drain.
+	// Account the final store-buffer drain. The tail past the last stepped
+	// cycle is pure store-buffer back-pressure: the pipeline is drained and
+	// only buffered stores keep the clock running.
 	if c.port.PendingStores() > 0 {
 		last := c.port.DrainAll(c.cycle)
 		if last > c.cycle {
+			c.acct.Charge(cpustack.StoreBufferFull, last-c.cycle)
 			c.cycle = last
+		}
+	}
+	// The conservation law is the whole warrant for trusting a CPI stack;
+	// verify it on every armed run, not just under test.
+	if c.acct != nil {
+		if got := c.acct.Total(); got != c.cycle {
+			return nil, fmt.Errorf("cpu: cpi-stack conservation violated: buckets sum to %d over %d cycles", got, c.cycle)
 		}
 	}
 	return c.result(), nil
@@ -732,6 +776,7 @@ func (c *Core) result() *Result {
 		Mispredicts:  c.mispredicts,
 		IPC:          ipc,
 		Counters:     s,
+		CPIStack:     c.acct.Snapshot(),
 	}
 }
 

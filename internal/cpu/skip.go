@@ -168,6 +168,9 @@ func (c *Core) attemptAt(e *robEntry, idx int32) uint64 {
 //portlint:hotpath
 func (c *Core) skipTo(target uint64) {
 	n := target - c.cycle //portlint:ignore cyclemath caller established target > c.cycle
+	if c.acct != nil {
+		c.acctGap(n, target)
+	}
 	if c.stallSeq != 0 || c.cycle < c.fetchBlockedTil {
 		c.fetchStallCycles += n
 	}

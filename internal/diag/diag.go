@@ -46,6 +46,11 @@ const (
 	// EventReject: a load offered to the memory port was refused. Addr is
 	// the access address.
 	EventReject
+	// EventCPI: the cycle-accounting classification changed bucket. Seq is
+	// the new cpustack.Bucket index; Addr is unused. Recorded only on
+	// transitions, so a traced cell's timeline carries one event per
+	// attribution phase instead of one per cycle.
+	EventCPI
 
 	numKinds
 )
@@ -67,6 +72,8 @@ func (k EventKind) String() string {
 		return "commit-stall"
 	case EventReject:
 		return "port-reject"
+	case EventCPI:
+		return "cpi-bucket"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

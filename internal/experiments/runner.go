@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"portsim/internal/cellstore"
 	"portsim/internal/config"
 	"portsim/internal/cpu"
+	"portsim/internal/cpustack"
 	"portsim/internal/diag"
 	"portsim/internal/stats"
 	"portsim/internal/trace"
@@ -64,6 +67,12 @@ type Spec struct {
 	// disables arenas entirely. Tables are byte-identical at any setting —
 	// replay and live generation produce the same instruction stream.
 	ArenaBudget int64
+	// CPIStack arms per-cell cycle accounting (cpu.Options.CPIStack):
+	// every simulated cell carries a conservation-checked attribution
+	// stack on its CellEvent and Result. Accounting never perturbs
+	// results — tables are byte-identical on or off — and adds one atomic
+	// charge per simulated cycle when armed.
+	CPIStack bool
 }
 
 // TraceSpec names the one cell whose pipeline events a campaign captures.
@@ -121,6 +130,30 @@ type CellEvent struct {
 	// case Err carries the failure.
 	Result *cpu.Result
 	Err    error
+	// CPIStack is the cell's frozen cycle-attribution stack when
+	// Spec.CPIStack armed accounting; nil otherwise. Unlike
+	// Result.CPIStack it is populated for failed cells too — the
+	// attribution of a wedged run is exactly what a diagnosis wants.
+	CPIStack *cpustack.Snapshot
+}
+
+// CellStart announces a cell entering simulation, delivered to the
+// observer installed with SetCellStartObserver. Memo and store hits never
+// start — they complete without simulating — so a start pairs with
+// exactly one later CellEvent for the same (machine, workload, config).
+type CellStart struct {
+	// Machine and Workload identify the cell; ConfigJSON is the machine
+	// configuration as simulated (after fault arming, if any).
+	Machine    string
+	Workload   string
+	ConfigJSON []byte
+	// Experiment is the experiment label set with SetExperiment, "" when
+	// the driver did not label the sweep.
+	Experiment string
+	// Stack is the cell's live CPI stack — the same object the simulation
+	// charges — so a status plane can snapshot mid-run attribution. Nil
+	// when Spec.CPIStack is off.
+	Stack *cpustack.Stack
 }
 
 // DefaultSpec runs every workload at full length, the configuration behind
@@ -175,13 +208,18 @@ type Runner struct {
 	doneCells  int
 	progress   func(done int)
 
-	// obsMu guards the per-cell observer (telemetry sink) and serialises
-	// its invocations. The observer is nil when telemetry is off; the
-	// cost of the check is one mutex acquisition per cell — never per
-	// cycle.
+	// obsMu guards the per-cell observers (telemetry sink, campaign
+	// status plane) and serialises their invocations. The observers are
+	// nil when telemetry is off; the cost of the check is one mutex
+	// acquisition per cell — never per cycle.
 	obsMu    sync.Mutex
 	observer func(CellEvent)
 	obsNow   func() time.Time
+	startObs func(CellStart)
+
+	// experiment is the current experiment label for cell starts and
+	// pprof labels, set by the driver between sweeps (SetExperiment).
+	experiment atomic.Value // string
 
 	// traceMu guards the single trace capture of a Spec.Trace campaign.
 	traceMu    sync.Mutex
@@ -260,6 +298,43 @@ func (r *Runner) cellObserver() (func(CellEvent), func() time.Time) {
 	r.obsMu.Lock()
 	defer r.obsMu.Unlock()
 	return r.observer, r.obsNow
+}
+
+// SetCellStartObserver installs a callback invoked when a cell enters
+// simulation, carrying the cell's live CPI stack (when armed) so a status
+// plane can report running cells. Memo and store hits never fire it.
+// Calls are serialised with the cell observer; a nil fn disables it.
+func (r *Runner) SetCellStartObserver(fn func(CellStart)) {
+	r.obsMu.Lock()
+	r.startObs = fn
+	r.obsMu.Unlock()
+}
+
+// cellStartObserver returns the current start observer.
+func (r *Runner) cellStartObserver() func(CellStart) {
+	r.obsMu.Lock()
+	defer r.obsMu.Unlock()
+	return r.startObs
+}
+
+// emitCellStart delivers one start notification under the observer lock.
+func (r *Runner) emitCellStart(ev CellStart) {
+	r.obsMu.Lock()
+	if r.startObs != nil {
+		r.startObs(ev)
+	}
+	r.obsMu.Unlock()
+}
+
+// SetExperiment labels the cells submitted from now on with an experiment
+// name (cell starts, pprof profiler labels). The drivers run experiments
+// sequentially, so a single label suffices; it never influences results.
+func (r *Runner) SetExperiment(name string) { r.experiment.Store(name) }
+
+// Experiment returns the current experiment label.
+func (r *Runner) Experiment() string {
+	name, _ := r.experiment.Load().(string)
+	return name
 }
 
 // emitCell delivers one observer event under the observer lock.
@@ -344,14 +419,18 @@ func (r *Runner) Run(m config.Machine, workloadName string) (*cpu.Result, error)
 	if e, ok := r.cache[key]; ok {
 		r.mu.Unlock()
 		<-e.done
-		r.emitCell(CellEvent{
+		ev := CellEvent{
 			Machine:    m.Name,
 			Workload:   workloadName,
 			ConfigJSON: cfgJSON,
 			MemoHit:    true,
 			Result:     e.res,
 			Err:        e.err,
-		})
+		}
+		if e.res != nil {
+			ev.CPIStack = e.res.CPIStack
+		}
+		r.emitCell(ev)
 		return e.res, e.err
 	}
 	e := &memoEntry{done: make(chan struct{})}
@@ -503,12 +582,24 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 			Err:      cause,
 		}
 	}
+	// Per-cell cycle accounting: a fresh caller-owned stack per cell, so
+	// the live object can be handed to the status plane (CellStart) while
+	// the simulation charges it, and snapshotted even when the cell fails.
+	var stack *cpustack.Stack
+	if r.spec.CPIStack {
+		stack = cpustack.NewStack()
+	}
 	// The observer defer is registered before the recover defer, so on a
 	// panic it runs after recovery has turned the panic into res/err and
 	// reports the cell's final outcome. The trace is captured on every
 	// path — a trace of the failing cell is exactly what a diagnosis
 	// wants.
 	obs, obsNow := r.cellObserver()
+	startObs := r.cellStartObserver()
+	var cfgJSON []byte
+	if obs != nil || startObs != nil {
+		cfgJSON, _ = m.ToJSON()
+	}
 	var cellStart time.Time
 	if obs != nil && obsNow != nil {
 		cellStart = obsNow()
@@ -520,8 +611,14 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 		if obs == nil {
 			return
 		}
-		ev := CellEvent{Machine: m.Name, Workload: what, Result: res, Err: err}
-		ev.ConfigJSON, _ = m.ToJSON()
+		ev := CellEvent{
+			Machine:    m.Name,
+			Workload:   what,
+			ConfigJSON: cfgJSON,
+			Result:     res,
+			Err:        err,
+			CPIStack:   stack.Snapshot(),
+		}
 		if obsNow != nil {
 			ev.WallSeconds = obsNow().Sub(cellStart).Seconds()
 		}
@@ -533,26 +630,56 @@ func (r *Runner) runStream(m config.Machine, stream trace.Stream, what string) (
 			err = cellErr(string(debug.Stack()), fmt.Errorf("%w: %v", ErrCellPanic, p))
 		}
 	}()
-	c, key, err := r.acquireCore(&m, stream, poolable)
-	if err != nil {
-		return nil, err
+	if startObs != nil {
+		r.emitCellStart(CellStart{
+			Machine:    m.Name,
+			Workload:   what,
+			ConfigJSON: cfgJSON,
+			Experiment: r.Experiment(),
+			Stack:      stack,
+		})
 	}
-	res, err = c.Run(cpu.Options{
-		MaxInstructions: r.spec.Insts,
-		DeadlineCycles:  cpu.DeadlineFor(r.spec.Insts),
-		StallCycles:     cpu.DefaultStallCycles,
-		Recorder:        rec,
-		NoSkip:          r.spec.NoSkip,
-	})
-	if err != nil {
-		// The failed core is dropped, not pooled: its state is part of
-		// the failure evidence and may be wedged.
-		return nil, cellErr("", fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err))
+	simulate := func() {
+		var c *cpu.Core
+		var key string
+		c, key, err = r.acquireCore(&m, stream, poolable)
+		if err != nil {
+			return
+		}
+		res, err = c.Run(cpu.Options{
+			MaxInstructions: r.spec.Insts,
+			DeadlineCycles:  cpu.DeadlineFor(r.spec.Insts),
+			StallCycles:     cpu.DefaultStallCycles,
+			Recorder:        rec,
+			NoSkip:          r.spec.NoSkip,
+			CPIStack:        stack,
+		})
+		if err != nil {
+			// The failed core is dropped, not pooled: its state is part
+			// of the failure evidence and may be wedged.
+			res = nil
+			err = cellErr("", fmt.Errorf("experiments: %s on %s: %w", what, m.Name, err))
+			return
+		}
+		r.simCycles.Add(res.Cycles)
+		r.simInsts.Add(res.Instructions)
+		r.releaseCore(key, c)
 	}
-	r.simCycles.Add(res.Cycles)
-	r.simInsts.Add(res.Instructions)
-	r.releaseCore(key, c)
-	return res, nil
+	if obs != nil || startObs != nil {
+		// With a telemetry plane attached, label the simulation goroutine
+		// so CPU profiles (/debug/pprof/profile) segment by cell and
+		// experiment. Labels never influence results; the plain path
+		// stays completely untouched when observability is off.
+		pprof.Do(context.Background(), pprof.Labels(
+			"cell", cellstore.HashConfig(cfgJSON),
+			"experiment", r.Experiment(),
+			"workload", what,
+			"machine", m.Name,
+		), func(context.Context) { simulate() })
+	} else {
+		simulate()
+	}
+	return res, err
 }
 
 // geoMeanIPC computes the geometric-mean IPC over per-workload results.

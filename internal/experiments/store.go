@@ -8,6 +8,7 @@ import (
 	"portsim/internal/cellstore"
 	"portsim/internal/config"
 	"portsim/internal/cpu"
+	"portsim/internal/cpustack"
 	"portsim/internal/stats"
 )
 
@@ -37,6 +38,9 @@ type storedResult struct {
 	IPC           float64  `json:"ipc"`
 	CounterNames  []string `json:"counter_names"`
 	CounterValues []uint64 `json:"counter_values"`
+	// CPIStack is the cycle-accounting breakdown keyed by bucket name,
+	// present only when the cell was simulated with accounting armed.
+	CPIStack map[string]uint64 `json:"cpi_stack,omitempty"`
 }
 
 // encodeResult serialises a result into the store's opaque payload.
@@ -51,6 +55,7 @@ func encodeResult(res *cpu.Result) (json.RawMessage, error) {
 		Branches:     res.Branches,
 		Mispredicts:  res.Mispredicts,
 		IPC:          res.IPC,
+		CPIStack:     res.CPIStack.Map(),
 	}
 	if res.Counters != nil {
 		sr.CounterNames = res.Counters.Names()
@@ -87,6 +92,11 @@ func decodeResult(raw json.RawMessage) (*cpu.Result, error) {
 	for i, name := range sr.CounterNames {
 		res.Counters.Add(name, sr.CounterValues[i]) //portlint:ignore counterhygiene restoring the simulator's own recorded names verbatim
 	}
+	stack, err := cpustack.FromMap(sr.CPIStack)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stored result: %w", err)
+	}
+	res.CPIStack = stack
 	return res, nil
 }
 
@@ -139,14 +149,18 @@ func (r *Runner) runDurable(m config.Machine, cfgJSON []byte, workloadName strin
 		if decErr == nil {
 			// Store hits skip runStream, so its observer defer never runs;
 			// deliver the cell event here with StoreHit set.
-			r.emitCell(CellEvent{
+			ev := CellEvent{
 				Machine:    m.Name,
 				Workload:   workloadName,
 				ConfigJSON: cfgJSON,
 				StoreHit:   true,
 				Result:     res,
 				Err:        err,
-			})
+			}
+			if res != nil {
+				ev.CPIStack = res.CPIStack
+			}
+			r.emitCell(ev)
 			return res, err
 		}
 		// The envelope verified but the experiments-layer payload did not

@@ -14,6 +14,13 @@
 // of the simulator model — entries carry opaque payloads, and the
 // experiments layer owns their encoding. Importing internal/{cpu,core,mem}
 // from the store is flagged.
+//
+// A third roster covers the accounting vocabulary: internal/cpustack sits
+// below both the model (cpu charges buckets) and the presentation layers
+// (telemetry and portbench read snapshots), so it must stay dependency-free
+// — no serving, no serialisation, no model, no telemetry. Anything beyond
+// the taxonomy and its atomics would drag presentation machinery into every
+// importer, including the hot loop.
 package layerimports
 
 import (
@@ -54,14 +61,37 @@ var StoreForbidden = map[string]string{
 	"portsim/internal/mem":  "the store must not reach into the memory hierarchy",
 }
 
+// StackGuarded lists the leaf vocabulary packages that every layer may
+// import and that therefore must import (almost) nothing themselves.
+var StackGuarded = map[string]bool{
+	"portsim/internal/cpustack": true,
+}
+
+// StackForbidden maps each import banned inside the accounting vocabulary
+// to the reason. The roster bans both directions at once: presentation
+// machinery (the package is imported by the hot loop) and the model/
+// telemetry packages (both import it — the reverse edge would be a cycle
+// and a layering hole even where the compiler tolerates it).
+var StackForbidden = map[string]string{
+	"net/http":                   "the accounting vocabulary is imported by the hot loop; serving belongs in internal/telemetry",
+	"encoding/json":              "manifest encoding of CPI stacks belongs in the telemetry/experiments layers",
+	"expvar":                     "metric publication belongs in internal/telemetry",
+	"portsim/internal/telemetry": "telemetry reads cpustack snapshots; the dependency must never reverse",
+	"portsim/internal/cpu":       "the model charges cpustack buckets; the dependency must never reverse",
+	"portsim/internal/core":      "the accounting vocabulary must stay below the model",
+	"portsim/internal/mem":       "the accounting vocabulary must stay below the model",
+}
+
 // Analyzer is the layerimports analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "layerimports",
 	Doc: "flags presentation-layer imports (net/http, encoding/json, expvar, " +
 		"internal/telemetry) inside the simulator model packages, keeping " +
-		"observability strictly outside the cycle-accurate code, and model " +
+		"observability strictly outside the cycle-accurate code; model " +
 		"imports inside the persistence layer (internal/cellstore), keeping " +
-		"the durable store simulator-ignorant",
+		"the durable store simulator-ignorant; and any presentation, model " +
+		"or telemetry import inside the accounting vocabulary " +
+		"(internal/cpustack), keeping the leaf package a leaf",
 	Run: run,
 }
 
@@ -73,6 +103,8 @@ func run(pass *analysis.Pass) error {
 		banned, where = Forbidden, "a model package"
 	case StoreGuarded[pass.Pkg.Path()]:
 		banned, where = StoreForbidden, "the store layer"
+	case StackGuarded[pass.Pkg.Path()]:
+		banned, where = StackForbidden, "the accounting vocabulary"
 	default:
 		return nil
 	}

@@ -32,6 +32,16 @@ func TestStorePackageFlagged(t *testing.T) {
 	analysistest.Run(t, layerimports.Analyzer, "storepkg")
 }
 
+// TestStackPackageFlagged treats the fixture as the accounting vocabulary
+// and expects both presentation and model imports to be reported while
+// fmt and sync/atomic — all the package legitimately needs — stay silent.
+func TestStackPackageFlagged(t *testing.T) {
+	const path = "portsim/internal/lint/layerimports/testdata/src/stackpkg"
+	layerimports.StackGuarded[path] = true
+	defer delete(layerimports.StackGuarded, path)
+	analysistest.Run(t, layerimports.Analyzer, "stackpkg")
+}
+
 // TestGuardedSetPinsModelPackages pins the production guard list so a
 // refactor cannot silently drop a model package from enforcement.
 func TestGuardedSetPinsModelPackages(t *testing.T) {
@@ -59,6 +69,22 @@ func TestGuardedSetPinsModelPackages(t *testing.T) {
 	} {
 		if layerimports.StoreForbidden[imp] == "" {
 			t.Errorf("%s missing from the store-forbidden set", imp)
+		}
+	}
+	if !layerimports.StackGuarded["portsim/internal/cpustack"] {
+		t.Error("portsim/internal/cpustack missing from the stack guard set")
+	}
+	for _, imp := range []string{
+		"net/http",
+		"encoding/json",
+		"expvar",
+		"portsim/internal/telemetry",
+		"portsim/internal/cpu",
+		"portsim/internal/core",
+		"portsim/internal/mem",
+	} {
+		if layerimports.StackForbidden[imp] == "" {
+			t.Errorf("%s missing from the stack-forbidden set", imp)
 		}
 	}
 }

@@ -1,0 +1,20 @@
+// Package stackpkg is a layerimports fixture standing in for the
+// accounting vocabulary (internal/cpustack): both presentation machinery
+// and model/telemetry imports are flagged — the package every layer
+// imports must itself import (almost) nothing.
+package stackpkg
+
+import (
+	"fmt"
+	"net/http" // want `import "net/http" in the accounting vocabulary`
+	"sync/atomic"
+
+	"portsim/internal/core" // want `import "portsim/internal/core" in the accounting vocabulary`
+)
+
+func use() {
+	fmt.Println(http.StatusOK)
+	var v atomic.Uint64
+	v.Add(1)
+	_ = core.NewLineBufferSet(1, 64)
+}

@@ -35,6 +35,22 @@ func (d *DRAM) NextEvent(now uint64) uint64 {
 	return neverEvent
 }
 
+// DRAMBusy reports whether the DRAM channel is occupied at cycle now —
+// an access issued now would queue behind the one in flight. The cycle
+// accounting layer uses it to split a memory-bound head-of-ROB wait into
+// bandwidth (channel busy) versus latency (fill in flight, channel idle).
+//
+//portlint:hotpath
+func (s *System) DRAMBusy(now uint64) bool { return s.dram.nextFree > now }
+
+// DRAMBusyUntil returns the first cycle the DRAM channel is free (which
+// may be in the past when it is already idle). Gap accounting uses it to
+// split a skipped stretch at the exact cycle the stepped classifier would
+// have switched from dram-bandwidth to fill-wait.
+//
+//portlint:hotpath
+func (s *System) DRAMBusyUntil() uint64 { return s.dram.nextFree }
+
 // NextEvent reports the soonest autonomous state change in the hierarchy at
 // or after now: the earliest outstanding MSHR fill at any level completing,
 // or the DRAM channel freeing. The TLBs hold no timed state (miss penalties

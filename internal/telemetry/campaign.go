@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"portsim/internal/cpustack"
 )
 
 // CellSample is the end-of-cell snapshot the experiment runner's observer
@@ -36,6 +38,32 @@ type CellSample struct {
 	// values mean "unknown" (failed cell) and are not observed.
 	PortUtilization float64
 	PortRejectRate  float64
+
+	// CPIStack is the cell's frozen cycle-accounting breakdown, nil when
+	// the campaign ran without -cpistack.
+	CPIStack *cpustack.Snapshot
+}
+
+// CellStartSample announces a cell entering simulation: its identity plus
+// the live accounting stack the simulator is charging (nil without
+// -cpistack). The campaign tracks it until the matching CellDone, so
+// /campaign can report running cells with a live CPI snapshot.
+type CellStartSample struct {
+	Machine    string
+	Workload   string
+	ConfigJSON []byte
+	Experiment string
+	Stack      *cpustack.Stack
+}
+
+// runningCell is the campaign's record of an in-flight simulation.
+type runningCell struct {
+	machine    string
+	workload   string
+	configHash string
+	experiment string
+	started    time.Time
+	stack      *cpustack.Stack
 }
 
 // Campaign accumulates a run's telemetry: the live registry metrics served
@@ -56,8 +84,15 @@ type Campaign struct {
 	utilHist     *Histogram
 	rejectHist   *Histogram
 
-	mu    sync.Mutex
-	cells []ManifestCell
+	planned int
+
+	// cpiCounters holds one registry counter per accounting bucket once
+	// EnableCPIStack runs; nil while CPI accounting is off.
+	cpiCounters []*Counter
+
+	mu      sync.Mutex
+	cells   []ManifestCell
+	running map[string]runningCell
 }
 
 // mallocCount reads the runtime's cumulative allocation counter.
@@ -74,6 +109,8 @@ func NewCampaign(reg *Registry, planned int) *Campaign {
 	c := &Campaign{
 		start:        time.Now(),
 		startMallocs: mallocCount(),
+		planned:      planned,
+		running:      make(map[string]runningCell),
 
 		cellsPlanned: reg.Gauge("portsim_cells_planned",
 			"Experiment cells the selected suite will submit."),
@@ -122,6 +159,40 @@ func NewCampaign(reg *Registry, planned int) *Campaign {
 	return c
 }
 
+// EnableCPIStack registers one cycle counter per accounting bucket
+// (portsim_cpi_<bucket>_cycles_total) and arms the campaign to fold each
+// simulated cell's breakdown into them. The registry has no label support,
+// so the bucket is part of the metric name.
+func (c *Campaign) EnableCPIStack(reg *Registry) {
+	c.cpiCounters = make([]*Counter, cpustack.NumBuckets)
+	for b := cpustack.Bucket(0); b < cpustack.NumBuckets; b++ {
+		c.cpiCounters[b] = reg.Counter(
+			"portsim_cpi_"+b.MetricName()+"_cycles_total",
+			"Simulated cycles attributed to "+b.String()+" across non-memoised cells.")
+	}
+}
+
+// cellKey identifies one in-flight cell for the running set.
+func cellKey(machine, workload, configHash string) string {
+	return machine + "\x00" + workload + "\x00" + configHash
+}
+
+// CellStarted records a cell entering simulation. The matching CellDone
+// removes it; memo and store hits never start, so they never appear here.
+func (c *Campaign) CellStarted(s CellStartSample) {
+	rc := runningCell{
+		machine:    s.Machine,
+		workload:   s.Workload,
+		configHash: HashConfig(s.ConfigJSON),
+		experiment: s.Experiment,
+		started:    time.Now(),
+		stack:      s.Stack,
+	}
+	c.mu.Lock()
+	c.running[cellKey(rc.machine, rc.workload, rc.configHash)] = rc
+	c.mu.Unlock()
+}
+
 // CellDone folds one completed cell into the metrics and the manifest
 // rows.
 func (c *Campaign) CellDone(s CellSample) {
@@ -144,6 +215,11 @@ func (c *Campaign) CellDone(s CellSample) {
 			c.rejectHist.Observe(s.PortRejectRate)
 		}
 	}
+	if c.cpiCounters != nil && s.CPIStack != nil && !s.MemoHit && !s.StoreHit {
+		for b := cpustack.Bucket(0); b < cpustack.NumBuckets; b++ {
+			c.cpiCounters[b].Add(s.CPIStack.Get(b))
+		}
+	}
 
 	cell := ManifestCell{
 		Workload:    s.Workload,
@@ -155,6 +231,7 @@ func (c *Campaign) CellDone(s CellSample) {
 		WallSeconds: s.WallSeconds,
 		Cycles:      s.Cycles,
 		Insts:       s.Insts,
+		CPIStack:    s.CPIStack.Map(),
 	}
 	if s.Failed {
 		cell.Outcome = OutcomeFailed
@@ -164,6 +241,7 @@ func (c *Campaign) CellDone(s CellSample) {
 		}
 	}
 	c.mu.Lock()
+	delete(c.running, cellKey(cell.Machine, cell.Workload, cell.ConfigHash))
 	c.cells = append(c.cells, cell)
 	c.mu.Unlock()
 }
@@ -188,6 +266,132 @@ func (c *Campaign) SimCycles() uint64 { return c.simCycles.Value() }
 
 // Elapsed returns the wall time since the campaign started.
 func (c *Campaign) Elapsed() time.Duration { return time.Since(c.start) }
+
+// CampaignStatusSchema identifies the /campaign JSON document format.
+const CampaignStatusSchema = "portsim-campaign/v1"
+
+// RunningStatus is one in-flight cell in a CampaignStatus: identity plus a
+// live read of the accounting stack the simulator is charging right now.
+type RunningStatus struct {
+	Workload    string  `json:"workload"`
+	Machine     string  `json:"machine"`
+	ConfigHash  string  `json:"config_hash"`
+	Experiment  string  `json:"experiment,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cycles is the live bucket total — the cell's simulated-cycle count
+	// at the instant of the snapshot (accounting charges exactly one
+	// bucket per cycle). Zero without -cpistack.
+	Cycles   uint64            `json:"cycles"`
+	CPIStack map[string]uint64 `json:"cpi_stack,omitempty"`
+}
+
+// CellStatus is one completed cell in a CampaignStatus.
+type CellStatus struct {
+	Workload   string `json:"workload"`
+	Machine    string `json:"machine"`
+	ConfigHash string `json:"config_hash"`
+	// State is "ok", "failed", "memo-hit" or "store-hit".
+	State       string            `json:"state"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Cycles      uint64            `json:"cycles"`
+	Error       string            `json:"error,omitempty"`
+	CPIStack    map[string]uint64 `json:"cpi_stack,omitempty"`
+}
+
+// CampaignStatus is the /campaign JSON document: campaign-level progress
+// plus per-cell state for in-flight and completed cells.
+type CampaignStatus struct {
+	Schema         string  `json:"schema"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Planned        int     `json:"planned"`
+	Done           int     `json:"done"`
+	Failed         int     `json:"failed"`
+	MemoHits       int     `json:"memo_hits"`
+	StoreHits      int     `json:"store_hits"`
+	// Pending counts planned cells not yet started (0 when the plan size
+	// was unknown).
+	Pending   int    `json:"pending"`
+	SimCycles uint64 `json:"sim_cycles"`
+	// MCyclesPerSecond is the campaign-wide simulation rate in millions
+	// of cycles per wall second.
+	MCyclesPerSecond float64         `json:"mcycles_per_second"`
+	Running          []RunningStatus `json:"running"`
+	Cells            []CellStatus    `json:"cells"`
+}
+
+// Status snapshots the campaign for /campaign. Running cells read their
+// live stacks (atomics — no coordination with the simulating workers);
+// completed cells reuse the manifest rows.
+func (c *Campaign) Status() *CampaignStatus {
+	now := time.Now()
+	st := &CampaignStatus{
+		Schema:         CampaignStatusSchema,
+		ElapsedSeconds: now.Sub(c.start).Seconds(),
+		Planned:        c.planned,
+		Done:           int(c.cellsDone.Value()),
+		Failed:         int(c.cellsFailed.Value()),
+		MemoHits:       int(c.memoHits.Value()),
+		StoreHits:      int(c.storeHits.Value()),
+		SimCycles:      c.simCycles.Value(),
+	}
+	if st.ElapsedSeconds > 0 {
+		st.MCyclesPerSecond = float64(st.SimCycles) / st.ElapsedSeconds / 1e6
+	}
+	c.mu.Lock()
+	st.Running = make([]RunningStatus, 0, len(c.running))
+	for _, rc := range c.running {
+		r := RunningStatus{
+			Workload:    rc.workload,
+			Machine:     rc.machine,
+			ConfigHash:  rc.configHash,
+			Experiment:  rc.experiment,
+			WallSeconds: now.Sub(rc.started).Seconds(),
+		}
+		if rc.stack != nil {
+			snap := rc.stack.Snapshot()
+			r.Cycles = snap.Total()
+			r.CPIStack = snap.Map()
+		}
+		st.Running = append(st.Running, r)
+	}
+	st.Cells = make([]CellStatus, 0, len(c.cells))
+	for _, cell := range c.cells {
+		cs := CellStatus{
+			Workload:    cell.Workload,
+			Machine:     cell.Machine,
+			ConfigHash:  cell.ConfigHash,
+			State:       cell.Outcome,
+			WallSeconds: cell.WallSeconds,
+			Cycles:      cell.Cycles,
+			Error:       cell.Error,
+			CPIStack:    cell.CPIStack,
+		}
+		switch {
+		case cell.MemoHit:
+			cs.State = "memo-hit"
+		case cell.StoreHit:
+			cs.State = "store-hit"
+		}
+		st.Cells = append(st.Cells, cs)
+	}
+	c.mu.Unlock()
+	if c.planned > 0 {
+		if pending := c.planned - st.Done - len(st.Running); pending > 0 {
+			st.Pending = pending
+		}
+	}
+	sort.Slice(st.Running, func(i, j int) bool {
+		a, b := st.Running[i], st.Running[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		return a.ConfigHash < b.ConfigHash
+	})
+	return st
+}
 
 // ManifestInfo carries the campaign-level fields of a manifest that the
 // accumulator cannot know itself.
@@ -234,6 +438,7 @@ func (c *Campaign) BuildManifest(info ManifestInfo) *Manifest {
 
 	var totals ManifestTotals
 	totals.WallSeconds = info.WallSeconds
+	var cpi map[string]uint64
 	distinct := make(map[string]bool)
 	for _, cell := range cells {
 		totals.Cells++
@@ -249,6 +454,12 @@ func (c *Campaign) BuildManifest(info ManifestInfo) *Manifest {
 		case cell.Outcome == OutcomeOK:
 			totals.SimCycles += cell.Cycles
 			totals.SimInsts += cell.Insts
+			for name, v := range cell.CPIStack {
+				if cpi == nil {
+					cpi = make(map[string]uint64)
+				}
+				cpi[name] += v
+			}
 		}
 	}
 
@@ -272,6 +483,7 @@ func (c *Campaign) BuildManifest(info ManifestInfo) *Manifest {
 		Arenas:      info.Arenas,
 		Cells:       cells,
 		Totals:      totals,
+		CPIStack:    cpi,
 	}
 }
 

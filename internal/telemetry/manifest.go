@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"portsim/internal/cpustack"
 )
 
 // ManifestSchema identifies the manifest format. Bump the suffix on any
@@ -40,6 +42,11 @@ type ManifestCell struct {
 	Cycles      uint64  `json:"cycles"`
 	Insts       uint64  `json:"insts"`
 	Error       string  `json:"error,omitempty"`
+	// CPIStack is the cell's cycle-accounting breakdown keyed by bucket
+	// name (internal/cpustack), present only when the campaign ran with
+	// accounting armed. Zero buckets are omitted; for an ok cell the
+	// remaining buckets sum to exactly Cycles.
+	CPIStack map[string]uint64 `json:"cpi_stack,omitempty"`
 }
 
 // ManifestTotals aggregates the cells.
@@ -95,6 +102,11 @@ type Manifest struct {
 
 	Cells  []ManifestCell `json:"cells"`
 	Totals ManifestTotals `json:"totals"`
+
+	// CPIStack aggregates the per-cell breakdowns over simulated ok cells
+	// (memo and store hits excluded, matching SimCycles accounting). It
+	// lives outside ManifestTotals so the totals stay a comparable struct.
+	CPIStack map[string]uint64 `json:"cpi_stack,omitempty"`
 }
 
 // ManifestStore records the durable cell store a campaign ran against and
@@ -170,6 +182,7 @@ func (m *Manifest) Validate() error {
 		return fmt.Errorf("manifest: parallel %d, want >= 1", m.Parallel)
 	}
 	want := ManifestTotals{WallSeconds: m.Totals.WallSeconds}
+	wantCPI := map[string]uint64{}
 	for i, c := range m.Cells {
 		where := fmt.Sprintf("manifest: cell %d (%s on %s)", i, c.Workload, c.Machine)
 		if c.Workload == "" || c.Machine == "" {
@@ -197,6 +210,17 @@ func (m *Manifest) Validate() error {
 		if c.MemoHit && c.StoreHit {
 			return fmt.Errorf("%s: both memo_hit and store_hit set", where)
 		}
+		if c.CPIStack != nil {
+			snap, err := cpustack.FromMap(c.CPIStack)
+			if err != nil {
+				return fmt.Errorf("%s: %v", where, err)
+			}
+			if c.Outcome == OutcomeOK {
+				if err := snap.CheckConservation(c.Cycles); err != nil {
+					return fmt.Errorf("%s: %v", where, err)
+				}
+			}
+		}
 		switch {
 		case c.MemoHit:
 			want.MemoHits++
@@ -205,11 +229,25 @@ func (m *Manifest) Validate() error {
 		case c.Outcome == OutcomeOK:
 			want.SimCycles += c.Cycles
 			want.SimInsts += c.Insts
+			for name, v := range c.CPIStack {
+				wantCPI[name] += v
+			}
 		}
 		want.Cells++
 	}
 	if m.Totals != want {
 		return fmt.Errorf("manifest: totals %+v disagree with cells (want %+v)", m.Totals, want)
+	}
+	// The aggregate breakdown must re-derive from the cells, and — paired
+	// with the per-cell conservation above — sum to exactly SimCycles.
+	if len(wantCPI) != len(m.CPIStack) {
+		return fmt.Errorf("manifest: cpi_stack has %d buckets, cells sum to %d", len(m.CPIStack), len(wantCPI))
+	}
+	for name, v := range wantCPI {
+		if m.CPIStack[name] != v {
+			return fmt.Errorf("manifest: cpi_stack[%s] = %d disagrees with cells (want %d)",
+				name, m.CPIStack[name], v)
+		}
 	}
 	if m.Totals.WallSeconds < 0 {
 		return fmt.Errorf("manifest: negative total wall_seconds %v", m.Totals.WallSeconds)

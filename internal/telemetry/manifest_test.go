@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -113,7 +114,7 @@ func TestManifestOrderInsensitive(t *testing.T) {
 		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
 	}
 	for i := range a.Cells {
-		if a.Cells[i] != b.Cells[i] {
+		if !reflect.DeepEqual(a.Cells[i], b.Cells[i]) {
 			t.Errorf("cell %d differs:\n%+v\n%+v", i, a.Cells[i], b.Cells[i])
 		}
 	}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,6 +9,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"portsim/internal/cpustack"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -141,5 +145,131 @@ func TestServerVarsAndHealthz(t *testing.T) {
 func TestServeBadAddress(t *testing.T) {
 	if _, err := Serve("256.256.256.256:99999", NewRegistry()); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+// TestServerShutdownReleasesPort pins the graceful-shutdown contract: after
+// Shutdown returns, the exact address the server held must be immediately
+// bindable by a new server — no lingering listener, no TIME_WAIT surprise
+// from the server's own socket.
+func TestServerShutdownReleasesPort(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("pre-shutdown /healthz status %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+	srv2, err := Serve(addr, reg)
+	if err != nil {
+		t.Fatalf("rebinding %s after shutdown: %v", addr, err)
+	}
+	defer srv2.Close()
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("rebound /healthz status %d", code)
+	}
+}
+
+// TestServerCampaignEndpoint covers the live status plane: /campaign is a
+// 404 until a campaign attaches, then reports running cells with their
+// live accounting stacks and completed cells with their frozen ones, and
+// /debug/pprof answers on the same mux.
+func TestServerCampaignEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, _ := get(t, base+"/campaign"); code != http.StatusNotFound {
+		t.Errorf("/campaign without a campaign: status %d, want 404", code)
+	}
+
+	camp := NewCampaign(reg, 3)
+	camp.EnableCPIStack(reg)
+	srv.SetCampaign(camp)
+
+	stack := cpustack.NewStack()
+	stack.Charge(cpustack.Useful, 700)
+	stack.Charge(cpustack.StoreBufferFull, 300)
+	camp.CellStarted(CellStartSample{
+		Machine: "baseline-1port", Workload: "compress",
+		ConfigJSON: []byte(`{"ports":1}`), Experiment: "F1", Stack: stack,
+	})
+	camp.CellDone(CellSample{
+		Machine: "dual-port", Workload: "eqntott", ConfigJSON: []byte(`{"ports":2}`),
+		WallSeconds: 0.1, Cycles: 1000, Insts: 900,
+		PortUtilization: 0.5, PortRejectRate: 0.1,
+		CPIStack: stack.Snapshot(),
+	})
+
+	code, body := get(t, base+"/campaign")
+	if code != http.StatusOK {
+		t.Fatalf("/campaign status %d", code)
+	}
+	var st CampaignStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/campaign not JSON: %v\n%s", err, body)
+	}
+	if st.Schema != CampaignStatusSchema || st.Planned != 3 || st.Done != 1 {
+		t.Errorf("status headline wrong: %+v", st)
+	}
+	if st.Pending != 1 { // 3 planned - 1 done - 1 running
+		t.Errorf("pending = %d, want 1", st.Pending)
+	}
+	if len(st.Running) != 1 || st.Running[0].Workload != "compress" ||
+		st.Running[0].Experiment != "F1" || st.Running[0].Cycles != 1000 {
+		t.Errorf("running cells wrong: %+v", st.Running)
+	}
+	if st.Running[0].CPIStack["useful"] != 700 {
+		t.Errorf("running cell live stack wrong: %+v", st.Running[0].CPIStack)
+	}
+	if len(st.Cells) != 1 || st.Cells[0].State != "ok" || st.Cells[0].CPIStack["store-buffer-full"] != 300 {
+		t.Errorf("done cells wrong: %+v", st.Cells)
+	}
+
+	// The live stack keeps moving after the snapshot: /campaign must see
+	// the new total on the next scrape.
+	stack.Charge(cpustack.MemFillWait, 500)
+	_, body = get(t, base+"/campaign")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Running[0].Cycles != 1500 {
+		t.Errorf("second scrape cycles = %d, want 1500", st.Running[0].Cycles)
+	}
+
+	if code, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+
+	// Completing the running cell moves it out of the running set.
+	camp.CellDone(CellSample{
+		Machine: "baseline-1port", Workload: "compress", ConfigJSON: []byte(`{"ports":1}`),
+		WallSeconds: 0.2, Cycles: 1500, Insts: 1200,
+		PortUtilization: 0.4, PortRejectRate: 0.2,
+		CPIStack: stack.Snapshot(),
+	})
+	_, body = get(t, base+"/campaign")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Running) != 0 || st.Done != 2 {
+		t.Errorf("after completion: %d running, %d done; want 0, 2", len(st.Running), st.Done)
 	}
 }

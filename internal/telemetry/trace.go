@@ -5,13 +5,18 @@ import (
 	"fmt"
 	"strconv"
 
+	"portsim/internal/cpustack"
 	"portsim/internal/diag"
 )
 
 // This file converts a flight-recorder tail into Chrome trace-event JSON,
 // the format Perfetto and chrome://tracing load directly. The mapping:
 // one process ("pipeline") carries instant tracks for fetch, issue, commit
-// and commit-stall; a second process ("cache ports") carries one lane per
+// and commit-stall, plus a "cpi" counter track that steps between
+// attribution buckets whenever cycle accounting was armed (the recorder
+// stores one EventCPI per bucket transition, so the counter renders the
+// active bucket as a 0/1 square wave per bucket series); a second process
+// ("cache ports") carries one lane per
 // port slot — grants and store drains claim lanes in arrival order within
 // each cycle, so a fully shaded lane row is a saturated port — plus a
 // rejects track where every refused access shows as an instant. Simulated
@@ -133,6 +138,11 @@ func BuildTrace(events []diag.Event, meta TraceMeta) (*Trace, error) {
 	}
 	threadName(portsPid, tidRejects, "rejects")
 
+	// prevCPI tracks the last attribution bucket seen, so each transition
+	// closes the previous series (drops it to 0) as it raises the new one
+	// — Perfetto counters hold their last value until told otherwise.
+	prevCPI := -1
+
 	// laneCycle/laneNext assign each cycle's grants and drains to lanes in
 	// arrival order; a new cycle resets the rotation.
 	laneCycle := uint64(0)
@@ -185,6 +195,18 @@ func BuildTrace(events []diag.Event, meta TraceMeta) (*Trace, error) {
 			t.TraceEvents = append(t.TraceEvents, TraceEvent{
 				Name: "drain", Cat: "port", Ph: "X", Ts: ts, Dur: 1,
 				Pid: portsPid, Tid: laneFor(ev.Cycle), Args: args,
+			})
+		case diag.EventCPI:
+			b := cpustack.Bucket(ev.Seq)
+			vals := make(map[string]uint64, 2)
+			if prevCPI >= 0 && prevCPI != int(b) {
+				vals[cpustack.Bucket(prevCPI).String()] = 0
+			}
+			vals[b.String()] = 1
+			prevCPI = int(b)
+			t.TraceEvents = append(t.TraceEvents, TraceEvent{
+				Name: "cpi", Cat: "cpi", Ph: "C", Ts: ts,
+				Pid: pipelinePid, Args: vals,
 			})
 		case diag.EventReject:
 			t.TraceEvents = append(t.TraceEvents, TraceEvent{
